@@ -1,0 +1,48 @@
+"""Benchmark-suite configuration.
+
+Ensures the shared ``paper_reference`` module is importable regardless of
+how pytest was invoked, and keeps pytest-benchmark output stable (each
+benchmark is one full experiment; they are run pedantically with a
+single round inside the tests themselves).
+"""
+
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))
+
+_REPORT_ORDER = (
+    "table2", "fig3", "table3", "table4", "table5", "fig7", "fig8", "fig9",
+    "ablation_timing", "ablation_ping2", "ablation_psm",
+    "ablation_cellular", "ablation_energy", "ablation_static_psm",
+    "ablation_methods",
+)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo the paper-vs-measured reports into the terminal output.
+
+    Passing tests have their stdout captured, so without this the
+    regenerated tables would only exist under benchmarks/results/.
+    """
+    results_dir = _HERE / "results"
+    if not results_dir.is_dir():
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 70)
+    write("Regenerated paper tables and figures (also in benchmarks/results/)")
+    write("=" * 70)
+    seen = set()
+    for name in _REPORT_ORDER:
+        path = results_dir / f"{name}.txt"
+        if path.exists():
+            seen.add(path.name)
+            write("")
+            write(path.read_text().rstrip())
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.name not in seen:
+            write("")
+            write(path.read_text().rstrip())

@@ -1,0 +1,116 @@
+"""Ablation A6 — static vs adaptive PSM (the §3.2.2 contrast).
+
+"Static PSM could lead to RTT round-up effect and degrade network
+performance [19], [so] adaptive PSM is usually adopted by smartphones
+today."  This bench puts numbers on that: the same 5 ms path measured
+from a station running static PSM, adaptive PSM, and no PSM.
+
+It also probes a *boundary condition* of the paper's mitigation: since
+a static-PSM station returns to PS immediately after each transmission
+(there is no idle timeout for background traffic to keep resetting),
+AcuteMon cannot puncture the round-up on such a device — the scheme
+relies on the adaptive PSM every phone in Table 4 actually runs.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.render import Table
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.phone.profiles import NEXUS_5, PhoneProfile
+from repro.testbed.topology import Testbed
+from repro.tools.ping import PingTool
+from repro.wifi.sta import MODE_STATIC
+
+from paper_reference import save_report
+
+PROBES = 40
+RTT = 0.005  # a short campus path: round-up dominates utterly
+
+
+def _static_profile():
+    base = NEXUS_5
+    return PhoneProfile(
+        key="nexus5-static", name=base.name,
+        android_version=base.android_version, cpu_desc=base.cpu_desc,
+        cores=base.cores, ram_mb=base.ram_mb, chipset=base.chipset,
+        cpu_factor=base.cpu_factor, psm_timeout=base.psm_timeout,
+        psm_timeout_jitter=0.0,
+        listen_interval_assoc=base.listen_interval_assoc,
+    )
+
+
+def _build(mode, seed):
+    testbed = Testbed(seed=seed, emulated_rtt=RTT)
+    if mode == "static":
+        phone = testbed.add_phone(_static_profile(), bus_sleep=False)
+        phone.sta.psm.mode = MODE_STATIC
+        phone.sta.psm.timeout_jitter = 0.0
+    elif mode == "adaptive":
+        phone = testbed.add_phone("nexus5", bus_sleep=False)
+    else:  # cam
+        phone = testbed.add_phone("nexus5", bus_sleep=False,
+                                  psm_enabled=False)
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    return testbed, phone, collector
+
+
+def run_modes():
+    rows = {}
+    for index, mode in enumerate(("static", "adaptive", "cam")):
+        testbed, phone, collector = _build(mode, seed=9960 + index)
+        tool = PingTool(phone, collector, testbed.server_ip, interval=0.5,
+                        timeout=2.0)
+        tool.run_sync(PROBES)
+        rows[mode] = tool.rtts()
+    # AcuteMon against the static-PSM phone.
+    testbed, phone, collector = _build("static", seed=9970)
+    config = AcuteMonConfig(probe_count=PROBES, probe_gap=0.05)
+    monitor = AcuteMon(phone, collector, testbed.server_ip, config=config)
+    done = []
+    monitor.start(on_complete=lambda r: done.append(r))
+    while not done:
+        testbed.sim.step()
+    rows["static+acutemon"] = monitor.rtts()
+    return rows
+
+
+def test_ablation_static_psm_roundup(benchmark):
+    rows = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+
+    table = Table(
+        ["PSM flavour", "median RTT (ms)", "p90 (ms)", "max (ms)"],
+        title=f"Ablation A6: RTT round-up under static PSM "
+              f"(true path RTT {RTT * 1e3:.0f} ms, beacons every 102.4 ms)",
+    )
+    for mode, rtts in rows.items():
+        ordered = sorted(rtts)
+        table.add_row(
+            mode,
+            f"{statistics.median(ordered) * 1e3:.1f}",
+            f"{ordered[int(0.9 * len(ordered))] * 1e3:.1f}",
+            f"{ordered[-1] * 1e3:.1f}",
+        )
+    save_report("ablation_static_psm", table.render())
+
+    static = statistics.median(rows["static"])
+    adaptive = statistics.median(rows["adaptive"])
+    cam = statistics.median(rows["cam"])
+    punctured = statistics.median(rows["static+acutemon"])
+    # Round-up: static RTTs are beacon-scale despite the 5 ms path.
+    assert static > 0.020
+    assert max(rows["static"]) < 0.1024 + 0.02
+    # Adaptive PSM dozes between 0.5 s probes too, but the uplink send
+    # re-enters CAM and the response (RTT << Tip) arrives cleanly.
+    assert adaptive < 0.015
+    assert cam < 0.015
+    # Boundary condition of the paper's mitigation: background traffic
+    # holds off *timeout-based* demotion, but a static-PSM station
+    # returns to PS immediately after every transmission, so the
+    # round-up persists even under AcuteMon.  (All phones in Table 4 run
+    # adaptive PSM, which is why the paper's scheme works in practice.)
+    assert punctured > 0.020
+    assert punctured == pytest.approx(static, rel=0.6)

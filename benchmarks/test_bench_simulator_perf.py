@@ -1,0 +1,68 @@
+"""Engine performance benchmarks.
+
+Unlike the table/figure benches (one pedantic round each), these use
+pytest-benchmark conventionally to track the simulator's raw speed —
+useful when changing the event loop, the DCF model, or the packet
+encoders, where a regression quietly multiplies every experiment's wall
+time.
+"""
+
+from repro.net import wire
+from repro.net.addresses import ip
+from repro.net.packet import IcmpEcho, Packet, TcpSegment, UdpDatagram
+from repro.sim.scheduler import Simulator
+from repro.testbed.experiments import ping_experiment
+
+
+def test_perf_event_loop(benchmark):
+    """Raw scheduler throughput: schedule + fire chains of events."""
+
+    def run():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(1e-4, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def test_perf_wire_encoding(benchmark):
+    """IPv4/transport encode+decode round trips per second."""
+    packets = [
+        Packet(ip("10.0.0.1"), ip("10.0.0.2"), IcmpEcho(8, 1, 1, 56),
+               meta={"probe_id": 1}),
+        Packet(ip("10.0.0.1"), ip("10.0.0.2"), UdpDatagram(1000, 2000, 512),
+               meta={"probe_id": 2}),
+        Packet(ip("10.0.0.1"), ip("10.0.0.2"),
+               TcpSegment(1000, 80, 5, 9, 0x18, 1024),
+               meta={"probe_id": 3}),
+    ]
+
+    def run():
+        total = 0
+        for _ in range(200):
+            for packet in packets:
+                total += len(wire.encode_ipv4(packet))
+                wire.decode_ipv4(wire.encode_ipv4(packet))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_perf_full_ping_experiment(benchmark):
+    """End-to-end cost of one small multi-layer ping experiment."""
+
+    def run():
+        result = ping_experiment("nexus5", emulated_rtt=0.03,
+                                 interval=0.01, count=20, seed=5)
+        return len(result.layers["du"])
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 20

@@ -1,0 +1,58 @@
+"""Table 5 — actual nRTTs (dn) measured under AcuteMon (§4.2.1).
+
+All five phones, emulated RTTs of 20/50/85/135 ms, 100 TCP probes per
+cell.  The paper's claim: the sniffer-observed dn stays within ~3 ms of
+the emulated value on every phone and at every RTT (no PSM activity, no
+bus sleeps during the measurement window).
+"""
+
+from repro.analysis.render import Table, fmt_mean_ci
+from repro.analysis.stats import SummaryStats
+from repro.testbed.experiments import acutemon_experiment
+
+from paper_reference import TABLE5, PHONE_NAMES, save_report
+
+PROBES = 100
+RTTS_MS = (20, 50, 85, 135)
+PHONES = ("nexus5", "xperia_j", "galaxy_grand", "nexus4", "htc_one")
+
+
+def run_table5():
+    cells = {}
+    for p_index, phone in enumerate(PHONES):
+        for r_index, rtt_ms in enumerate(RTTS_MS):
+            result = acutemon_experiment(
+                phone, emulated_rtt=rtt_ms * 1e-3, count=PROBES,
+                seed=5000 + p_index * 10 + r_index,
+            )
+            cells[(phone, rtt_ms)] = {
+                "dn": SummaryStats(result.layers["dn"]),
+                "losses": result.acutemon.loss_count(),
+                "doze": result.phone.sta.doze_count,
+            }
+    return cells
+
+
+def test_table5_acutemon_actual_nrtt(benchmark):
+    cells = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+
+    table = Table(
+        ["Phone"] + [f"{r}ms" for r in RTTS_MS]
+        + [f"paper {r}ms" for r in RTTS_MS],
+        title=f"Table 5: actual nRTT dn under AcuteMon "
+              f"(mean±95% CI, ms; {PROBES} TCP probes)",
+    )
+    for phone in PHONES:
+        measured = [fmt_mean_ci(cells[(phone, r)]["dn"], digits=3)
+                    for r in RTTS_MS]
+        paper = [f"{TABLE5[(phone, r)]:.3f}" for r in RTTS_MS]
+        table.add_row(PHONE_NAMES[phone], *measured, *paper)
+    save_report("table5", table.render())
+
+    for (phone, rtt_ms), cell in cells.items():
+        dn_ms = cell["dn"].mean * 1e3
+        # "most of the deviations are kept within 3ms".
+        assert abs(dn_ms - rtt_ms) < 3.0, (phone, rtt_ms, dn_ms)
+        # CI stays tight (paper: all within ±1.2 ms).
+        assert cell["dn"].ci95 * 1e3 < 1.5, (phone, rtt_ms)
+        assert cell["losses"] == 0, (phone, rtt_ms)

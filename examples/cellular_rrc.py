@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""AcuteMon on cellular: puncturing RRC state-transition inflation.
+
+§4 of the paper: "Although AcuteMon is designed mainly for WiFi
+networks, it can be easily extended to cellular environment, mitigating
+the effect of RRC (Radio Resource Control) state transition."
+
+This example measures a 50 ms emulated path from a cellular phone whose
+radio follows the classic 3G state machine (IDLE / CELL_FACH / CELL_DCH,
+promotion ~2 s, demotion tails T1 = 5 s and T2 = 12 s), with and without
+AcuteMon's background traffic.
+
+Run:  python examples/cellular_rrc.py
+"""
+
+import statistics
+
+from repro.cellular.rrc import RrcConfig
+from repro.cellular.testbed import CellularTestbed
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.core.warmup import WarmupPolicy
+from repro.tools.ping import PingTool
+
+
+def narrate_rrc(testbed):
+    testbed.rrc.on_state_change = lambda old, new, reason: print(
+        f"   [{testbed.sim.now:7.2f}s] RRC {old} -> {new} ({reason})")
+
+
+def main():
+    rrc_config = RrcConfig(t1=5.0, t2=12.0)
+
+    print("1. Sparse pings (one every 20 s): the radio goes IDLE between "
+          "probes")
+    testbed = CellularTestbed(seed=21, emulated_rtt=0.050,
+                              rrc_config=rrc_config)
+    narrate_rrc(testbed)
+    collector = ProbeCollector(testbed.phone)
+    tool = PingTool(testbed.phone, collector, testbed.server_ip,
+                    interval=20.0, timeout=8.0)
+    tool.run_sync(4)
+    rtts = sorted(tool.rtts())
+    print(f"   measured RTTs: "
+          f"{', '.join(f'{r * 1e3:.0f}ms' for r in rtts)}")
+    print("   every probe reports the ~2 s promotion delay, not the 50 ms "
+          "path!")
+
+    print()
+    print("2. AcuteMon with a cellular warm-up plan")
+    policy = WarmupPolicy(t_prom=rrc_config.promo_idle_dch.high,
+                          t_is=rrc_config.t1, t_ip=rrc_config.t1)
+    plan = policy.recommend()
+    print(f"   policy: Tprom={policy.t_prom:.1f}s (promotion), "
+          f"T1={policy.t_is:.0f}s (DCH tail)")
+    print(f"   derived plan: dpre={plan.dpre:.2f}s, db={plan.db:.2f}s "
+          f"({'valid' if plan.valid else 'INVALID'})")
+
+    testbed = CellularTestbed(seed=22, emulated_rtt=0.050,
+                              rrc_config=rrc_config)
+    narrate_rrc(testbed)
+    collector = ProbeCollector(testbed.phone)
+    config = AcuteMonConfig(dpre=plan.dpre, db=plan.db, probe_count=10,
+                            probe_gap=4.0, probe_timeout=8.0)
+    monitor = AcuteMon(testbed.phone, collector, testbed.server_ip,
+                       config=config)
+    done = []
+    monitor.start(on_complete=lambda r: done.append(r))
+    while not done:
+        testbed.sim.step()
+    rtts = monitor.rtts()
+    print(f"   measured RTTs (10 probes, 4 s apart): median "
+          f"{statistics.median(rtts) * 1e3:.0f}ms, "
+          f"max {max(rtts) * 1e3:.0f}ms")
+    print(f"   RRC promotions during the session: "
+          f"{testbed.rrc.promotions} (one warm-up, then the background "
+          "traffic holds CELL_DCH)")
+
+
+if __name__ == "__main__":
+    main()

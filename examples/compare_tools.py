@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Tool shoot-out on a congested WLAN (the paper's §4.3, Figure 8).
+
+Measures the same 30 ms path with AcuteMon, httping, ICMP ping and
+"Java ping" (MobiPerf's InetAddress method), first on an idle WLAN and
+then with an iPerf-style load generator congesting the channel
+(10 UDP flows x 2.5 Mbps).
+
+Run:  python examples/compare_tools.py  (takes a minute or two: the
+cross-traffic scenario simulates thousands of frames per second)
+"""
+
+from repro import tool_comparison
+from repro.analysis.cdf import Cdf
+from repro.analysis.render import render_cdf
+
+PROBES = 50
+
+
+def show(results, title):
+    print()
+    print(f"-- {title} --")
+    cdfs = {}
+    for name, rtts in results.items():
+        cdfs[name] = Cdf(rtts)
+        print(render_cdf(cdfs[name], label=name))
+    acute = cdfs["acutemon"]
+    for name, cdf in cdfs.items():
+        if name == "acutemon":
+            continue
+        gap = (cdf.median - acute.median) * 1e3
+        print(f"   {name} median sits {gap:+.1f} ms right of AcuteMon")
+    return cdfs
+
+
+def main():
+    print(f"Comparing tools on a Nexus 5, emulated RTT 30 ms, "
+          f"{PROBES} probes each (quantiles in ms)")
+
+    idle = tool_comparison("nexus5", emulated_rtt=0.030, count=PROBES,
+                           seed=11, cross_traffic=False)
+    show(idle, "idle WLAN")
+
+    print()
+    print("Starting 10 x 2.5 Mbps UDP cross traffic and re-measuring...")
+    busy = tool_comparison("nexus5", emulated_rtt=0.030, count=PROBES,
+                           seed=11, cross_traffic=True)
+    cdfs = show(busy, "congested WLAN")
+
+    print()
+    fraction = cdfs["acutemon"].fraction_below(0.040)
+    print(f"Even under congestion, {fraction * 100:.0f}% of AcuteMon's "
+          "RTTs stay below 40 ms;")
+    print("the 1-second-cadence tools all pay the SDIO wake on every probe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""What accurate measurement costs in battery (the §4.1 claim).
+
+Compares three strategies over the same 30-second window containing one
+100-probe measurement of a 30 ms path:
+
+* doing nothing (the energy floor set by PSM + SDIO sleep),
+* AcuteMon (warm-up + background traffic only while measuring),
+* the naive alternative: disabling the energy-saving mechanisms
+  outright for the whole window.
+
+Run:  python examples/energy_budget.py
+"""
+
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.core.overhead import decompose
+from repro.phone.energy import EnergyMeter
+from repro.testbed.topology import Testbed
+
+WINDOW = 30.0
+
+
+def run(strategy, seed=33):
+    testbed = Testbed(seed=seed, emulated_rtt=0.030)
+    phone = testbed.add_phone(
+        "nexus5",
+        psm_enabled=(strategy != "always awake"),
+        bus_sleep=(strategy != "always awake"),
+    )
+    meter = EnergyMeter(phone)
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    overhead = None
+    if strategy != "idle":
+        config = AcuteMonConfig(
+            probe_count=100,
+            warmup_enabled=(strategy == "acutemon"),
+            background_enabled=(strategy == "acutemon"),
+        )
+        monitor = AcuteMon(phone, collector, testbed.server_ip,
+                           config=config)
+        done = []
+        monitor.start(on_complete=lambda r: done.append(r))
+        while not done:
+            testbed.sim.step()
+        overhead = decompose(collector.completed()).box("total").median
+    remaining = WINDOW - testbed.sim.now
+    if remaining > 0:
+        testbed.run(remaining)
+    return meter, overhead
+
+
+def main():
+    print(f"Energy over a {WINDOW:.0f} s window with one 100-probe "
+          "measurement (Nexus 5, 30 ms path)")
+    print()
+    rows = []
+    for strategy in ("idle", "acutemon", "always awake"):
+        meter, overhead = run(strategy)
+        rows.append((strategy, meter, overhead))
+        report = meter.report()
+        overhead_text = (f"{overhead * 1e3:.2f} ms median overhead"
+                         if overhead is not None else "no measurement")
+        print(f"  {strategy:13s} {report['energy_J']:6.2f} J "
+              f"({report['avg_power_W'] * 1e3:5.0f} mW avg, "
+              f"dozing {report['doze_s']:4.1f} s)  -> {overhead_text}")
+
+    idle = rows[0][1].energy_joules()
+    acute = rows[1][1].energy_joules()
+    always = rows[2][1].energy_joules()
+    print()
+    print(f"AcuteMon's measurement cost over idle: {acute - idle:.2f} J")
+    print(f"Keeping the phone awake instead would cost "
+          f"{always - idle:.2f} J — {(always - idle) / (acute - idle):.0f}x "
+          "more for the same accuracy.")
+    print()
+    print("This is §4.1's point: the warm-up scheme only suspends the")
+    print("energy savers *while a measurement is running*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a 30 ms path from a simulated Nexus 5 with AcuteMon.
+
+Builds the paper's Figure 2 testbed, runs one AcuteMon measurement
+(warm-up packet, 20 ms background traffic, 100 TCP SYN probes), and
+prints the user-level RTTs next to the sniffer ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import acutemon_experiment
+from repro.analysis.render import fmt_mean_ci
+from repro.analysis.stats import SummaryStats
+
+
+def main():
+    print("Running AcuteMon on a simulated Nexus 5 "
+          "(emulated RTT: 30 ms, 100 TCP probes)...")
+    result = acutemon_experiment("nexus5", emulated_rtt=0.030, count=100,
+                                 seed=7)
+
+    du = SummaryStats(result.layers["du"])
+    dn = SummaryStats(result.layers["dn"])
+    print(f"  user-level RTT (du):    {fmt_mean_ci(du)} ms")
+    print(f"  on-air nRTT    (dn):    {fmt_mean_ci(dn)} ms  (sniffer truth)")
+    print(f"  median overhead du-dn:  "
+          f"{result.overheads.box('total').median * 1e3:.2f} ms")
+    print(f"  background packets:     "
+          f"{result.acutemon.background_sent} (TTL=1, died at the AP)")
+    print(f"  probes lost:            {result.acutemon.loss_count()}")
+
+    box = result.overheads.box("dk_n")
+    print(f"  kernel-phy overhead:    median {box.median * 1e3:.2f} ms, "
+          f"whiskers [{box.whisker_low * 1e3:.2f}, "
+          f"{box.whisker_high * 1e3:.2f}] ms")
+
+    print()
+    print("The paper's headline (§4.2): median overhead stays within 3 ms")
+    print("regardless of the actual network RTT — try changing emulated_rtt.")
+
+
+if __name__ == "__main__":
+    main()

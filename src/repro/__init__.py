@@ -1,0 +1,54 @@
+"""repro — reproduction of *Demystifying and Puncturing the Inflated
+Delay in Smartphone-based WiFi Network Measurement* (Li, Wu, Chang, Mok;
+CoNEXT 2016).
+
+The package simulates the paper's entire measurement environment — an
+Android phone's layered network stack (with the SDIO bus-sleep state
+machine and 802.11 adaptive PSM that inflate measured RTTs), a DCF WiFi
+channel, the first-hop AP/router, a multi-sniffer testbed — and
+implements **AcuteMon**, the warm-up/background-traffic scheme that
+keeps the phone awake during measurement, along with every baseline
+tool the paper compares against.
+
+Quick start::
+
+    from repro import acutemon_experiment
+    result = acutemon_experiment("nexus5", emulated_rtt=0.03, count=100)
+    print(result.overheads.box("dk_n"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.calibration import TimerCalibrator
+from repro.core.measurement import ProbeCollector
+from repro.core.overhead import decompose
+from repro.core.warmup import WarmupPolicy
+from repro.phone.profiles import PHONES, phone_profile
+from repro.testbed.experiments import (
+    acutemon_experiment,
+    ping2_experiment,
+    ping_experiment,
+    tool_comparison,
+)
+from repro.testbed.topology import Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcuteMon",
+    "AcuteMonConfig",
+    "PHONES",
+    "ProbeCollector",
+    "Testbed",
+    "TimerCalibrator",
+    "WarmupPolicy",
+    "acutemon_experiment",
+    "decompose",
+    "phone_profile",
+    "ping2_experiment",
+    "ping_experiment",
+    "tool_comparison",
+    "__version__",
+]

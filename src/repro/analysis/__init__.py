@@ -1,0 +1,37 @@
+"""Statistics and report rendering for the reproduced experiments.
+
+* :mod:`repro.analysis.stats` — means with 95% confidence intervals
+  (the format of the paper's Tables 2 and 5) and summary statistics,
+* :mod:`repro.analysis.boxstats` — box-and-whisker statistics exactly as
+  the paper's Figures 3 and 7 define them (median, quartiles, whiskers
+  at the extrema after excluding 1.5 IQR outliers),
+* :mod:`repro.analysis.cdf` — empirical CDFs for Figures 8 and 9,
+* :mod:`repro.analysis.render` — plain-text tables and CDF sketches so
+  every benchmark prints the same rows/series the paper reports.
+"""
+
+from repro.analysis.boxstats import BoxStats
+from repro.analysis.cdf import Cdf
+from repro.analysis.compare import dominates, ks_statistic, ks_test, median_shift
+from repro.analysis.render import Table, render_boxplot_row, render_cdf
+from repro.analysis.report import MarkdownReport, campaign_report
+from repro.analysis.stats import SummaryStats, mean_ci
+from repro.analysis.timeline import ProbeTimeline, probe_timeline
+
+__all__ = [
+    "BoxStats",
+    "Cdf",
+    "MarkdownReport",
+    "ProbeTimeline",
+    "campaign_report",
+    "dominates",
+    "ks_statistic",
+    "ks_test",
+    "median_shift",
+    "SummaryStats",
+    "Table",
+    "mean_ci",
+    "probe_timeline",
+    "render_boxplot_row",
+    "render_cdf",
+]

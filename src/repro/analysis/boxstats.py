@@ -1,0 +1,56 @@
+"""Box-and-whisker statistics.
+
+Figures 3 and 7 of the paper use box plots where "the mark inside the
+box is the median and the top and bottom are the 75th and 25th
+percentile.  The upper and lower whiskers are the maximum and minimum,
+respectively, after excluding the outliers."  Outliers follow the
+conventional 1.5 IQR rule.
+"""
+
+from repro.analysis.stats import percentile
+
+
+class BoxStats:
+    """Median, quartiles, whiskers and outliers for one sample set."""
+
+    def __init__(self, values, whisker_factor=1.5):
+        values = sorted(values)
+        if not values:
+            raise ValueError("BoxStats requires at least one sample")
+        self.n = len(values)
+        self.median = percentile(values, 50)
+        self.q1 = percentile(values, 25)
+        self.q3 = percentile(values, 75)
+        self.iqr = self.q3 - self.q1
+        low_fence = self.q1 - whisker_factor * self.iqr
+        high_fence = self.q3 + whisker_factor * self.iqr
+        in_fence = [v for v in values if low_fence <= v <= high_fence]
+        # Degenerate distributions (IQR 0) keep at least the quartile range.
+        if not in_fence:
+            in_fence = [self.q1, self.q3]
+        # Whiskers extend *from the box*: interpolated quartiles can fall
+        # beyond every in-fence sample on tiny data sets, so clamp.
+        self.whisker_low = min(in_fence[0], self.q1)
+        self.whisker_high = max(in_fence[-1], self.q3)
+        self.outliers = [v for v in values if v < low_fence or v > high_fence]
+
+    @property
+    def outlier_fraction(self):
+        return len(self.outliers) / self.n
+
+    def scaled(self, factor):
+        """Does not recompute; convenience for unit conversion in reports."""
+        copy = BoxStats.__new__(BoxStats)
+        copy.n = self.n
+        for attr in ("median", "q1", "q3", "iqr", "whisker_low", "whisker_high"):
+            setattr(copy, attr, getattr(self, attr) * factor)
+        copy.outliers = [v * factor for v in self.outliers]
+        return copy
+
+    def __repr__(self):
+        return (
+            f"<BoxStats n={self.n} median={self.median:.4g} "
+            f"box=[{self.q1:.4g}, {self.q3:.4g}] "
+            f"whiskers=[{self.whisker_low:.4g}, {self.whisker_high:.4g}] "
+            f"outliers={len(self.outliers)}>"
+        )

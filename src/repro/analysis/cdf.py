@@ -1,0 +1,54 @@
+"""Empirical cumulative distribution functions (Figures 8 and 9)."""
+
+import bisect
+
+
+class Cdf:
+    """An empirical CDF over a finite sample."""
+
+    def __init__(self, values):
+        self.values = sorted(values)
+        if not self.values:
+            raise ValueError("Cdf requires at least one sample")
+        self.n = len(self.values)
+
+    def probability(self, x):
+        """P(X <= x)."""
+        return bisect.bisect_right(self.values, x) / self.n
+
+    def quantile(self, p):
+        """Smallest sample value v with P(X <= v) >= p."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"quantile requires p in (0, 1], got {p!r}")
+        index = max(0, min(self.n - 1, int(p * self.n + 0.999999) - 1))
+        return self.values[index]
+
+    @property
+    def median(self):
+        return self.quantile(0.5)
+
+    def points(self):
+        """The step-function vertices as ``[(value, probability), ...]``."""
+        return [
+            (value, (index + 1) / self.n)
+            for index, value in enumerate(self.values)
+        ]
+
+    def fraction_below(self, x):
+        """Alias of :meth:`probability`, reads better in reports."""
+        return self.probability(x)
+
+    def shift_versus(self, other, probabilities=(0.25, 0.5, 0.75, 0.9)):
+        """Horizontal gap (self - other) at several quantiles.
+
+        Positive values mean ``self`` sits to the right (is slower).
+        Used to quantify "the differences between AcuteMon and the other
+        three are almost larger than 10ms" style statements.
+        """
+        return {
+            p: self.quantile(p) - other.quantile(p)
+            for p in probabilities
+        }
+
+    def __repr__(self):
+        return f"<Cdf n={self.n} median={self.median:.4g}>"

@@ -1,0 +1,130 @@
+"""Per-probe timelines: *where did the milliseconds go?*
+
+Turns one :class:`~repro.core.measurement.ProbeRecord` (plus, optionally,
+the sniffer capture) into an annotated event sequence across the layers
+of the paper's Figure 1 — the layer-by-layer story behind a single
+inflated (or clean) RTT.  Used by the diagnosis examples and handy when
+developing new mitigation strategies.
+"""
+
+from repro.analysis.render import fmt_ms
+
+
+class TimelineEvent:
+    __slots__ = ("time", "layer", "label")
+
+    def __init__(self, time, layer, label):
+        self.time = time
+        self.layer = layer
+        self.label = label
+
+    def __repr__(self):
+        return f"<{self.time * 1e3:.3f}ms {self.layer}: {self.label}>"
+
+
+#: (stamp key, direction, layer, label) in stack order.
+_REQUEST_POINTS = (
+    ("kernel", "kernel", "dev_queue_xmit / bpf tap (tok)"),
+    ("driver", "driver", "dhd_start_xmit (tov)"),
+    ("driver_done", "driver", "dhdsdio_txpkt: written to the bus"),
+    ("phy", "air", "frame on the air (ton)"),
+)
+_RESPONSE_POINTS = (
+    ("phy", "air", "response on the air (tin)"),
+    ("driver", "driver", "dhdsdio_isr (tiv)"),
+    ("driver_done", "driver", "dhd_rxf_enqueue"),
+    ("kernel", "kernel", "netif_rx_ni / bpf tap (tik)"),
+    ("user", "user", "app receives response (tiu)"),
+)
+
+
+class ProbeTimeline:
+    """The ordered event list for one probe transaction."""
+
+    def __init__(self, record, capture=None):
+        self.record = record
+        self.events = []
+        self._build(capture)
+
+    def _build(self, capture):
+        record = self.record
+        if record.user_send is not None:
+            self._add(record.user_send, "user", "app sends probe (tou)")
+        if record.request is not None:
+            for key, layer, label in _REQUEST_POINTS:
+                stamp = record.request.stamps.get(key)
+                if stamp is not None:
+                    self._add(stamp, layer, label)
+        if record.response is not None:
+            for key, layer, label in _RESPONSE_POINTS:
+                stamp = record.response.stamps.get(key)
+                if stamp is not None:
+                    self._add(stamp, layer, label)
+        if record.user_recv is not None:
+            self._add(record.user_recv, "user",
+                      "app records RTT (tiu, as reported)")
+        if capture is not None:
+            self._add_capture_events(capture)
+        self.events.sort(key=lambda event: event.time)
+
+    def _add_capture_events(self, capture):
+        probe_id = self.record.probe_id
+        for frame_record in capture:
+            if frame_record.probe_id != probe_id:
+                continue
+            status = ("retransmission/collision"
+                      if frame_record.status != "ok" else "transmission")
+            self._add(frame_record.time, "air",
+                      f"sniffer: {status} {frame_record.frame!r}")
+
+    def _add(self, time, layer, label):
+        self.events.append(TimelineEvent(time, layer, label))
+
+    @property
+    def origin(self):
+        return self.events[0].time if self.events else 0.0
+
+    def span(self):
+        if not self.events:
+            return 0.0
+        return self.events[-1].time - self.events[0].time
+
+    def gaps(self):
+        """(duration, from_event, to_event) between consecutive events,
+        largest first — the quickest way to spot where a probe stalled."""
+        out = []
+        for first, second in zip(self.events, self.events[1:]):
+            out.append((second.time - first.time, first, second))
+        out.sort(key=lambda item: item[0], reverse=True)
+        return out
+
+    def render(self):
+        """Multi-line text rendering with relative timestamps."""
+        record = self.record
+        header = [f"probe {record.probe_id} ({record.kind})"]
+        metrics = []
+        for name in ("du", "dk", "dv", "dn"):
+            value = getattr(record, name)
+            if value is not None:
+                metrics.append(f"{name}={fmt_ms(value)}ms")
+        if metrics:
+            header.append("  " + "  ".join(metrics))
+        lines = ["".join(header)]
+        origin = self.origin
+        previous = origin
+        for event in self.events:
+            delta = event.time - previous
+            lines.append(
+                f"  {(event.time - origin) * 1e3:9.3f} ms "
+                f"(+{delta * 1e3:7.3f})  {event.layer:6s} {event.label}"
+            )
+            previous = event.time
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def probe_timeline(record, capture=None):
+    """Build a :class:`ProbeTimeline` for one record."""
+    return ProbeTimeline(record, capture=capture)

@@ -1,0 +1,37 @@
+"""The cellular (RRC) extension of AcuteMon.
+
+Paper §4: "Although AcuteMon is designed mainly for WiFi networks, it
+can be easily extended to cellular environment, mitigating the effect of
+RRC (Radio Resource Control) state transition."  This package builds
+that environment:
+
+* :mod:`repro.cellular.rrc` — the 3G-style RRC state machine
+  (IDLE / CELL_FACH / CELL_DCH) with promotion delays and the T1/T2
+  inactivity demotion timers that inflate cellular RTT measurements the
+  same way SDIO sleep and PSM inflate WiFi ones,
+* :mod:`repro.cellular.interface` — the phone's radio interface and the
+  cell tower (with an embedded first-hop router, so TTL=1
+  warm-up/background traffic behaves exactly as on WiFi),
+* :mod:`repro.cellular.phone` — a phone whose stack sits on the cellular
+  interface; the measurement tools and AcuteMon run on it unchanged,
+* :mod:`repro.cellular.testbed` — tower + wired server topology.
+
+The warm-up policy maps directly: ``Tprom`` becomes the IDLE->DCH
+promotion delay, ``Tis``/``Tip`` become the DCH inactivity timer ``T1``
+— so a valid plan needs ``promotion < dpre`` and ``db < T1``.
+"""
+
+from repro.cellular.interface import CellTower, CellularInterface
+from repro.cellular.phone import CellularPhone
+from repro.cellular.rrc import RrcConfig, RrcMachine, RrcState
+from repro.cellular.testbed import CellularTestbed
+
+__all__ = [
+    "CellTower",
+    "CellularInterface",
+    "CellularPhone",
+    "CellularTestbed",
+    "RrcConfig",
+    "RrcMachine",
+    "RrcState",
+]

@@ -1,0 +1,83 @@
+"""Cellular testbed: phone — tower — wired server."""
+
+from repro.net.addresses import MacAddress, ip
+from repro.net.arp import ArpTable
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.netem import NetemQdisc
+from repro.net.servers import MeasurementServer
+from repro.net.switch import Switch
+from repro.cellular.interface import CellTower
+from repro.cellular.phone import CellularPhone
+from repro.cellular.rrc import RrcConfig, RrcMachine
+from repro.phone.profiles import PhoneProfile, phone_profile
+from repro.sim.scheduler import Simulator
+
+CELL_NET = "10.64.0.0/16"
+TOWER_CELL_IP = ip("10.64.0.1")
+PHONE_CELL_IP = ip("10.64.0.2")
+WIRED_NET = "10.0.0.0/24"
+TOWER_WIRED_IP = ip("10.0.0.1")
+SERVER_IP = ip("10.0.0.2")
+
+
+class CellularTestbed:
+    """A minimal cellular measurement environment.
+
+    Mirrors the WiFi :class:`~repro.testbed.topology.Testbed` so
+    experiments read the same: a measurement server behind the tower's
+    wired port, with ``tc netem``-style emulated RTT on its egress.
+    """
+
+    __test__ = False
+
+    def __init__(self, seed=0, emulated_rtt=0.0, rrc_config=None,
+                 phone_profile_key="nexus5"):
+        self.sim = Simulator(seed=seed)
+        self.rrc = RrcMachine(
+            self.sim, config=rrc_config or RrcConfig(),
+            rng=self.sim.rng.stream("rrc"),
+        )
+        self.tower = CellTower(self.sim, TOWER_CELL_IP, CELL_NET,
+                               rng=self.sim.rng.stream("tower"))
+        self.wired_arp = ArpTable()
+        self.switch = Switch(self.sim)
+
+        tower_link = Link(self.sim, name="tower-switch")
+        self.tower.add_wired_port("eth0", TOWER_WIRED_IP, WIRED_NET,
+                                  self.wired_arp, link=tower_link)
+        self.switch.new_port(tower_link)
+
+        self.server_host = Host(
+            self.sim, "server", SERVER_IP,
+            MacAddress.from_index(2, oui=0x02CD00), self.wired_arp,
+            gateway=TOWER_WIRED_IP, rng=self.sim.rng.stream("server"),
+        )
+        server_link = Link(self.sim, name="server-switch")
+        self.server_host.nic.attach_link(server_link)
+        self.switch.new_port(server_link)
+        self.server = MeasurementServer(self.server_host)
+        self.netem = NetemQdisc(self.sim, delay=emulated_rtt,
+                                rng=self.sim.rng.stream("netem"),
+                                name="server-egress")
+        self.server_host.netem = self.netem
+
+        profile = phone_profile(phone_profile_key) \
+            if not isinstance(phone_profile_key, PhoneProfile) \
+            else phone_profile_key
+        self.phone = CellularPhone(self.sim, profile, self.tower, self.rrc,
+                                   PHONE_CELL_IP,
+                                   rng=self.sim.rng.stream("cellphone"))
+
+    @property
+    def server_ip(self):
+        return self.server_host.ip_addr
+
+    def run(self, duration):
+        return self.sim.run(until=self.sim.now + duration)
+
+    def settle(self, duration=0.5):
+        return self.run(duration)
+
+    def __repr__(self):
+        return f"<CellularTestbed t={self.sim.now:.2f}s rrc={self.rrc.state}>"

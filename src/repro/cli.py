@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs scaled-down versions of the paper's experiments and prints the same
+reports the benchmark suite produces.  The full-size regenerations live
+in ``benchmarks/`` (``pytest benchmarks/ --benchmark-only``); the CLI is
+for quick interactive exploration.
+"""
+
+import argparse
+import statistics
+import sys
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.render import (
+    Table, fmt_mean_ci, render_boxplot_row, render_cdf,
+)
+from repro.analysis.stats import SummaryStats
+from repro.phone.profiles import PHONES
+from repro.testbed.experiments import (
+    acutemon_experiment, ping2_experiment, ping_experiment, tool_comparison,
+)
+
+
+def cmd_table2(args):
+    table = Table(["Phone", "RTT", "Intv.", "du (ms)", "dk (ms)", "dn (ms)"],
+                  title="Multi-layer ping RTTs (Table 2 shape)")
+    for phone in ("nexus4", "nexus5"):
+        for rtt_ms in (30, 60):
+            for label, interval in (("10ms", 0.010), ("1s", 1.0)):
+                result = ping_experiment(
+                    phone, emulated_rtt=rtt_ms * 1e-3, interval=interval,
+                    count=args.count, seed=args.seed)
+                stats = {layer: SummaryStats(result.layers[layer])
+                         for layer in ("du", "dk", "dn")}
+                table.add_row(phone, f"{rtt_ms}ms", label,
+                              fmt_mean_ci(stats["du"]),
+                              fmt_mean_ci(stats["dk"]),
+                              fmt_mean_ci(stats["dn"]))
+    print(table)
+
+
+def cmd_table3(args):
+    table = Table(["Type", "Bus sleep", "Interval", "Min", "Mean", "Max"],
+                  title="Driver delays dvsend/dvrecv in ms (Table 3 shape)")
+    for enabled in (True, False):
+        for label, interval in (("10ms", 0.010), ("1s", 1.0)):
+            result = ping_experiment(
+                "nexus5", emulated_rtt=0.060, interval=interval,
+                count=args.count, seed=args.seed, bus_sleep=enabled)
+            for kind in ("send", "recv"):
+                stats = SummaryStats(result.phone.driver.samples_of(kind))
+                table.add_row(f"dv{kind}",
+                              "Enabled" if enabled else "Disabled", label,
+                              f"{stats.minimum * 1e3:.3f}",
+                              f"{stats.mean * 1e3:.3f}",
+                              f"{stats.maximum * 1e3:.3f}")
+    print(table)
+
+
+def cmd_table5(args):
+    table = Table(["Phone", "20ms", "50ms", "85ms", "135ms"],
+                  title="AcuteMon actual nRTT dn, mean±CI ms (Table 5 shape)")
+    for phone in PHONES:
+        cells = []
+        for rtt_ms in (20, 50, 85, 135):
+            result = acutemon_experiment(
+                phone, emulated_rtt=rtt_ms * 1e-3, count=args.count,
+                seed=args.seed)
+            cells.append(fmt_mean_ci(SummaryStats(result.layers["dn"])))
+        table.add_row(phone, *cells)
+    print(table)
+
+
+def cmd_overheads(args):
+    print("AcuteMon overheads per emulated RTT (Figure 7 shape)")
+    for rtt_ms in (20, 50, 85, 135):
+        result = acutemon_experiment(
+            args.phone, emulated_rtt=rtt_ms * 1e-3, count=args.count,
+            seed=args.seed)
+        print(render_boxplot_row(f"{rtt_ms}ms du_k", result.overheads.box("du_k")))
+        print(render_boxplot_row(f"{rtt_ms}ms dk_n", result.overheads.box("dk_n")))
+
+
+def cmd_compare(args):
+    results = tool_comparison(
+        args.phone, emulated_rtt=args.rtt * 1e-3, count=args.count,
+        seed=args.seed, cross_traffic=args.cross_traffic)
+    print(f"Tool comparison on {args.phone}, emulated RTT {args.rtt} ms"
+          f"{' with cross traffic' if args.cross_traffic else ''} "
+          "(Figure 8 shape, ms)")
+    for name, rtts in results.items():
+        print(render_cdf(Cdf(rtts), label=name))
+
+
+def cmd_ping2(args):
+    print("ping2 vs AcuteMon median error (ms) across path lengths")
+    for rtt_ms in (20, 50, 85, 135):
+        rtt = rtt_ms * 1e-3
+        tool, _ = ping2_experiment(args.phone, emulated_rtt=rtt,
+                                   count=args.count, seed=args.seed)
+        acute = acutemon_experiment(args.phone, emulated_rtt=rtt,
+                                    count=args.count, seed=args.seed)
+        ping2_err = statistics.median(tool.rtts()) - rtt
+        acute_err = statistics.median(acute.user_rtts) - rtt
+        print(f"  {rtt_ms:4d}ms: ping2 {ping2_err * 1e3:+6.2f}   "
+              f"acutemon {acute_err * 1e3:+6.2f}")
+
+
+def cmd_campaign(args):
+    from repro.testbed.campaign import Campaign
+
+    campaign = Campaign(
+        phones=tuple(args.phones), rtts=tuple(r * 1e-3 for r in args.rtts),
+        tools=tuple(args.tools), count=args.count, base_seed=args.seed,
+    )
+    campaign.run(progress=lambda phone, rtt, tool, cross: print(
+        f"  running {phone} @ {rtt * 1e3:.0f}ms with {tool}..."))
+    table = Table(["Phone", "RTT", "Tool", "median (ms)",
+                   "error (ms)", "n"],
+                  title="Campaign results")
+    for result in campaign.results:
+        stats = result.summary()
+        table.add_row(result.phone, f"{result.rtt * 1e3:.0f}ms",
+                      result.tool, f"{stats.median * 1e3:.2f}",
+                      f"{result.error() * 1e3:.2f}", stats.n)
+    print(table)
+    if args.out:
+        campaign.save(args.out)
+        print(f"saved to {args.out}")
+
+
+def cmd_phones(_args):
+    table = Table(["Key", "Model", "WNIC", "Tis", "Tip", "L assoc"],
+                  title="Phone profiles (Table 1 + Table 4)")
+    for key, profile in PHONES.items():
+        table.add_row(
+            key, profile.name, profile.chipset.name,
+            f"{profile.sdio_idle_window * 1e3:.0f}ms",
+            f"~{profile.psm_timeout * 1e3:.0f}ms",
+            profile.listen_interval_assoc,
+        )
+    print(table)
+
+
+COMMANDS = {
+    "table2": (cmd_table2, "multi-layer ping RTTs (Table 2)"),
+    "table3": (cmd_table3, "driver dvsend/dvrecv delays (Table 3)"),
+    "table5": (cmd_table5, "AcuteMon actual nRTT (Table 5)"),
+    "overheads": (cmd_overheads, "AcuteMon overhead box stats (Figure 7)"),
+    "compare": (cmd_compare, "tool comparison CDFs (Figure 8)"),
+    "ping2": (cmd_ping2, "ping2 vs AcuteMon error sweep"),
+    "campaign": (cmd_campaign, "run a phone x RTT x tool grid"),
+    "phones": (cmd_phones, "list the modelled phone profiles"),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Demystifying and Puncturing the "
+                    "Inflated Delay in Smartphone-based WiFi Network "
+                    "Measurement' (CoNEXT 2016)",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (default 0)")
+    parser.add_argument("--count", type=int, default=30,
+                        help="probes per cell (default 30; the paper uses "
+                             "100, as do the benchmarks)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (_fn, help_text) in COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        if name in ("overheads", "compare", "ping2"):
+            cmd.add_argument("--phone", default="nexus5",
+                             choices=sorted(PHONES))
+        if name == "compare":
+            cmd.add_argument("--rtt", type=float, default=30.0,
+                             help="emulated RTT in ms (default 30)")
+            cmd.add_argument("--cross-traffic", action="store_true",
+                             help="congest the WLAN with iPerf load")
+        if name == "campaign":
+            cmd.add_argument("--phones", nargs="+", default=["nexus5"],
+                             choices=sorted(PHONES))
+            cmd.add_argument("--rtts", nargs="+", type=float,
+                             default=[20.0, 50.0],
+                             help="emulated RTTs in ms")
+            cmd.add_argument("--tools", nargs="+",
+                             default=["acutemon", "ping"])
+            cmd.add_argument("--out", default=None,
+                             help="save results to a JSON file")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command][0](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Overhead calibration: from accurate to *corrected* measurements.
+
+§4.2.2 closes with: "the delay overheads for AcuteMon are independent of
+nRTTs, and the values of the overheads are much more stable.  Therefore,
+the true value can be obtained by performing calibration."
+
+:class:`OverheadCalibrator` implements that last step.  Train it once on
+a path whose nRTT is known (in the testbed: the emulated RTT; in the
+field: a reference server on a measured link) and it learns the phone's
+stable per-probe overhead distribution; afterwards,
+:meth:`correct` maps raw user-level RTTs to unbiased nRTT estimates.
+"""
+
+from repro.analysis.stats import SummaryStats, percentile
+
+
+class OverheadCalibrator:
+    """Learns and subtracts a phone's stable measurement overhead."""
+
+    def __init__(self):
+        self._samples = []
+
+    @property
+    def trained(self):
+        return len(self._samples) >= 3
+
+    @property
+    def sample_count(self):
+        return len(self._samples)
+
+    # -- training -----------------------------------------------------------
+
+    def train_from_records(self, records):
+        """Train on completed probe records (uses du - dn per probe)."""
+        added = 0
+        for record in records:
+            if record.du is not None and record.dn is not None:
+                self._samples.append(record.du - record.dn)
+                added += 1
+        return added
+
+    def train_from_known_rtt(self, measured_rtts, true_rtt):
+        """Train without a sniffer: a reference path of known nRTT."""
+        for rtt in measured_rtts:
+            self._samples.append(rtt - true_rtt)
+        return len(measured_rtts)
+
+    # -- the learned overhead ------------------------------------------------
+
+    def overhead(self, quantile=0.5):
+        """The learned overhead at a quantile (median by default)."""
+        if not self.trained:
+            raise RuntimeError(
+                f"calibrator needs >= 3 samples, has {len(self._samples)}"
+            )
+        return percentile(self._samples, quantile * 100)
+
+    def overhead_stats(self):
+        return SummaryStats(self._samples)
+
+    # -- applying it -----------------------------------------------------------
+
+    def correct(self, measured_rtt):
+        """One corrected nRTT estimate (never negative)."""
+        return max(0.0, measured_rtt - self.overhead())
+
+    def correct_all(self, measured_rtts):
+        offset = self.overhead()
+        return [max(0.0, rtt - offset) for rtt in measured_rtts]
+
+    def residual_error(self, measured_rtts, true_rtt):
+        """Median |corrected - true| over a validation set."""
+        corrected = self.correct_all(measured_rtts)
+        return percentile([abs(c - true_rtt) for c in corrected], 50)
+
+    def __repr__(self):
+        if not self.trained:
+            return f"<OverheadCalibrator untrained ({len(self._samples)})>"
+        return (f"<OverheadCalibrator n={len(self._samples)} "
+                f"overhead={self.overhead() * 1e3:.2f}ms>")

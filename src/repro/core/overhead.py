@@ -1,0 +1,67 @@
+"""Delay-overhead decomposition (paper §2.1).
+
+Given the layered RTTs of a probe the overheads are defined as:
+
+* ``Δd      = du - dn`` — total delay overhead,
+* ``Δdu−k  = du - dk`` — user/kernel overhead (runtime + socket path),
+* ``Δdk−v  = dk - dv`` — kernel/driver overhead,
+* ``Δdv−n  = dv - dn`` — driver/PHY overhead (where SDIO wake lands),
+* ``Δdk−n  = dk - dn`` — kernel/PHY overhead (= Δdk−v + Δdv−n), the
+  quantity plotted in Figures 3 and 7.
+"""
+
+from repro.analysis.boxstats import BoxStats
+from repro.analysis.stats import SummaryStats
+
+OVERHEAD_NAMES = ("total", "du_k", "dk_v", "dv_n", "dk_n")
+
+
+class OverheadSet:
+    """Per-probe overhead series for one experiment cell."""
+
+    def __init__(self):
+        self.total = []
+        self.du_k = []
+        self.dk_v = []
+        self.dv_n = []
+        self.dk_n = []
+
+    def add_record(self, record):
+        """Accumulate one completed :class:`ProbeRecord`'s overheads."""
+        du, dk, dv, dn = record.du, record.dk, record.dv, record.dn
+        if du is not None and dn is not None:
+            self.total.append(du - dn)
+        if du is not None and dk is not None:
+            self.du_k.append(du - dk)
+        if dk is not None and dv is not None:
+            self.dk_v.append(dk - dv)
+        if dv is not None and dn is not None:
+            self.dv_n.append(dv - dn)
+        if dk is not None and dn is not None:
+            self.dk_n.append(dk - dn)
+
+    def series(self, name):
+        if name not in OVERHEAD_NAMES:
+            raise ValueError(f"unknown overhead {name!r}; known: {OVERHEAD_NAMES}")
+        return getattr(self, name)
+
+    def box(self, name):
+        """Box-plot statistics for one overhead (Figures 3 and 7)."""
+        return BoxStats(self.series(name))
+
+    def summary(self, name):
+        return SummaryStats(self.series(name))
+
+    def __len__(self):
+        return len(self.total)
+
+    def __repr__(self):
+        return f"<OverheadSet n={len(self.total)}>"
+
+
+def decompose(records):
+    """Build an :class:`OverheadSet` from completed probe records."""
+    overheads = OverheadSet()
+    for record in records:
+        overheads.add_record(record)
+    return overheads

@@ -1,0 +1,137 @@
+"""The warm-up / background timing policy (paper §4.1).
+
+After a warm-up packet, the phone is in the wake-up state once the
+promotion delay ``Tprom`` has passed; it demotes again after ``Tis``
+(SDIO) or ``Tip`` (PSM) of idleness.  Hence:
+
+* the warm-up lead time must satisfy ``Tprom < dpre < min(Tis, Tip)``,
+  so the first probe finds everything awake and nothing has demoted yet;
+* the background inter-packet interval must satisfy
+  ``db < min(Tis, Tip)`` so the demotion timers keep being reset.
+
+The prototype uses 20 ms for both; :class:`WarmupPolicy` validates or
+derives values for any phone profile (or for calibrated timer values —
+see :mod:`repro.core.calibration`).
+"""
+
+DEFAULT_DPRE = 20e-3
+DEFAULT_DB = 20e-3
+
+
+class WarmupPlan:
+    """A concrete (dpre, db) choice plus the constraints it satisfies."""
+
+    __slots__ = ("dpre", "db", "t_prom", "t_is", "t_ip")
+
+    def __init__(self, dpre, db, t_prom, t_is, t_ip):
+        self.dpre = dpre
+        self.db = db
+        self.t_prom = t_prom
+        self.t_is = t_is
+        self.t_ip = t_ip
+
+    @property
+    def demotion_floor(self):
+        """min(Tis, Tip): the budget both dpre and db must stay under."""
+        return min(self.t_is, self.t_ip)
+
+    @property
+    def valid(self):
+        return (
+            self.t_prom < self.dpre < self.demotion_floor
+            and 0 < self.db < self.demotion_floor
+        )
+
+    def violations(self):
+        """Human-readable list of constraint violations (empty if valid)."""
+        problems = []
+        if self.dpre <= self.t_prom:
+            problems.append(
+                f"dpre ({self.dpre * 1e3:.1f}ms) <= Tprom "
+                f"({self.t_prom * 1e3:.1f}ms): probes may start before the "
+                "bus is awake"
+            )
+        if self.dpre >= self.demotion_floor:
+            problems.append(
+                f"dpre ({self.dpre * 1e3:.1f}ms) >= min(Tis, Tip) "
+                f"({self.demotion_floor * 1e3:.1f}ms): the phone demotes "
+                "again before measurement starts"
+            )
+        if self.db >= self.demotion_floor:
+            problems.append(
+                f"db ({self.db * 1e3:.1f}ms) >= min(Tis, Tip) "
+                f"({self.demotion_floor * 1e3:.1f}ms): background traffic "
+                "cannot hold the wake-up state"
+            )
+        if self.db <= 0:
+            problems.append("db must be positive")
+        return problems
+
+    def __repr__(self):
+        state = "valid" if self.valid else "INVALID"
+        return (
+            f"<WarmupPlan dpre={self.dpre * 1e3:.1f}ms db={self.db * 1e3:.1f}ms "
+            f"[{state}]>"
+        )
+
+
+class WarmupPolicy:
+    """Derives and validates warm-up plans for a phone.
+
+    Timer values come either from a :class:`~repro.phone.profiles.PhoneProfile`
+    (what the paper's empirical 20 ms choice assumes) or from explicit
+    calibrated values.
+    """
+
+    def __init__(self, t_prom, t_is, t_ip):
+        if min(t_prom, t_is, t_ip) < 0:
+            raise ValueError("timer values must be non-negative")
+        self.t_prom = t_prom
+        self.t_is = t_is
+        self.t_ip = t_ip
+
+    @classmethod
+    def for_profile(cls, profile):
+        """Policy from a phone profile's nominal timers.
+
+        ``Tprom`` is taken at the chipset's worst-case wake delay, and
+        ``Tip`` at its jitter floor — conservative on both ends.
+        """
+        return cls(
+            t_prom=profile.chipset.wake_delay.high,
+            t_is=profile.sdio_idle_window,
+            t_ip=profile.psm_timeout - profile.psm_timeout_jitter,
+        )
+
+    @classmethod
+    def from_calibration(cls, calibration):
+        """Policy from a :class:`~repro.core.calibration.CalibrationResult`."""
+        return cls(t_prom=calibration.t_prom, t_is=calibration.t_is,
+                   t_ip=calibration.t_ip)
+
+    def plan(self, dpre=DEFAULT_DPRE, db=DEFAULT_DB):
+        """Build a plan with explicit values (defaults: the paper's 20 ms)."""
+        return WarmupPlan(dpre, db, self.t_prom, self.t_is, self.t_ip)
+
+    def recommend(self, safety=0.25):
+        """Derive a plan automatically.
+
+        Both knobs target the midpoint between the constraint edges,
+        clamped by a safety margin: dpre sits ``safety`` of the way above
+        Tprom toward min(Tis, Tip); db at half the demotion floor.
+        """
+        floor = min(self.t_is, self.t_ip)
+        if self.t_prom >= floor:
+            raise ValueError(
+                f"no feasible dpre: Tprom ({self.t_prom * 1e3:.1f}ms) >= "
+                f"min(Tis, Tip) ({floor * 1e3:.1f}ms)"
+            )
+        dpre = self.t_prom + (floor - self.t_prom) * safety
+        db = floor * 0.5
+        return WarmupPlan(dpre, db, self.t_prom, self.t_is, self.t_ip)
+
+    def __repr__(self):
+        return (
+            f"<WarmupPolicy Tprom={self.t_prom * 1e3:.1f}ms "
+            f"Tis={self.t_is * 1e3:.1f}ms Tip={self.t_ip * 1e3:.1f}ms>"
+        )

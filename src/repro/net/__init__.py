@@ -1,0 +1,54 @@
+"""Wired network substrate.
+
+This package implements everything between the access point's Ethernet
+port and the measurement server in the paper's Figure 2 testbed:
+
+* byte-accurate packet headers with real Internet checksums
+  (:mod:`repro.net.packet`, :mod:`repro.net.wire`),
+* links, NICs and drop-tail queues (:mod:`repro.net.link`,
+  :mod:`repro.net.interface`, :mod:`repro.net.queues`),
+* a learning switch and an IP router with TTL handling and ICMP
+  time-exceeded generation (:mod:`repro.net.switch`, :mod:`repro.net.router`),
+* ``tc netem``-style delay emulation (:mod:`repro.net.netem`),
+* host stacks with ICMP echo, UDP sockets and a small TCP implementation
+  (:mod:`repro.net.host`, :mod:`repro.net.tcp`),
+* the measurement server and iPerf-style load generation
+  (:mod:`repro.net.servers`, :mod:`repro.net.iperf`).
+"""
+
+from repro.net.addresses import MacAddress, ip
+from repro.net.host import Host
+from repro.net.iperf import UdpLoadGenerator, UdpSink
+from repro.net.link import Link
+from repro.net.netem import NetemQdisc
+from repro.net.packet import (
+    IcmpEcho,
+    IcmpTimeExceeded,
+    Packet,
+    TcpSegment,
+    UdpDatagram,
+)
+from repro.net.queues import DropTailQueue
+from repro.net.router import Router
+from repro.net.servers import HttpServer, MeasurementServer
+from repro.net.switch import Switch
+
+__all__ = [
+    "DropTailQueue",
+    "Host",
+    "HttpServer",
+    "IcmpEcho",
+    "IcmpTimeExceeded",
+    "Link",
+    "MacAddress",
+    "MeasurementServer",
+    "NetemQdisc",
+    "Packet",
+    "Router",
+    "Switch",
+    "TcpSegment",
+    "UdpDatagram",
+    "UdpLoadGenerator",
+    "UdpSink",
+    "ip",
+]

@@ -1,0 +1,37 @@
+"""Static address resolution.
+
+The paper's testbed is a closed LAN, so rather than simulating ARP
+request/reply chatter (which would itself wake sleeping radios and
+perturb the measurements) the topology builder pre-populates one
+:class:`ArpTable` per L2 segment — the moral equivalent of
+``arp -s`` entries on every box.
+"""
+
+
+class ArpTable:
+    """IP-to-MAC mapping for one broadcast domain."""
+
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, ip_addr, mac):
+        """Add or replace a static entry."""
+        self._entries[ip_addr] = mac
+
+    def lookup(self, ip_addr):
+        """Resolve ``ip_addr``; raises :class:`KeyError` with context if absent."""
+        try:
+            return self._entries[ip_addr]
+        except KeyError:
+            raise KeyError(
+                f"no ARP entry for {ip_addr}; did the topology register it?"
+            ) from None
+
+    def knows(self, ip_addr):
+        return ip_addr in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return f"<ArpTable {len(self._entries)} entries>"

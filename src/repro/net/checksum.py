@@ -1,0 +1,41 @@
+"""The Internet checksum (RFC 1071).
+
+Used for IPv4 headers, ICMP messages, and the UDP/TCP pseudo-header
+checksums emitted into pcap captures.
+"""
+
+import struct
+
+
+def internet_checksum(data):
+    """Compute the 16-bit one's-complement checksum of ``data``.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.  The return
+    value is the checksum field value (i.e. already complemented).
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back in until the sum fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data):
+    """True when ``data`` (including its checksum field) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def pseudo_header(src_ip, dst_ip, protocol, length):
+    """IPv4 pseudo-header used by UDP and TCP checksums."""
+    return struct.pack(
+        "!4s4sBBH",
+        src_ip.packed,
+        dst_ip.packed,
+        0,
+        protocol,
+        length,
+    )

@@ -1,0 +1,60 @@
+"""Wired hosts.
+
+A :class:`Host` is an end system on the switched LAN: one Ethernet NIC,
+one :class:`~repro.net.stack.IpStack`, a default gateway, and an optional
+egress :class:`~repro.net.netem.NetemQdisc` (how the measurement server
+emulates long paths).
+"""
+
+from repro.net.interface import EthernetFrame, EthernetInterface
+from repro.net.stack import IpStack
+
+
+class Host:
+    """An end host attached to an Ethernet segment."""
+
+    def __init__(self, sim, name, ip_addr, mac, arp_table, gateway=None,
+                 netem=None, rng=None, proc_delay=100e-6, proc_jitter=50e-6):
+        self.sim = sim
+        self.name = name
+        self.ip_addr = ip_addr
+        self.arp = arp_table
+        self.gateway = gateway
+        self.netem = netem
+        self.nic = EthernetInterface(sim, owner=self, mac=mac, name=f"{name}.eth0")
+        self.stack = IpStack(
+            sim, ip_addr, transmit=self._egress, rng=rng, name=name,
+            proc_delay=proc_delay, proc_jitter=proc_jitter,
+        )
+        arp_table.register(ip_addr, mac)
+
+    # -- outbound -----------------------------------------------------
+
+    def _egress(self, packet):
+        if self.netem is not None:
+            self.netem.apply(packet, self._send_frame)
+        else:
+            self._send_frame(packet)
+
+    def _send_frame(self, packet):
+        next_hop = packet.dst if self.arp.knows(packet.dst) else self.gateway
+        if next_hop is None:
+            raise RuntimeError(
+                f"{self.name}: no route to {packet.dst} and no gateway configured"
+            )
+        dst_mac = self.arp.lookup(next_hop)
+        self.nic.send(EthernetFrame(dst_mac, self.nic.mac, packet))
+
+    # -- inbound ------------------------------------------------------
+
+    def handle_frame(self, frame, interface):
+        """NIC delivery: accept frames addressed to us (or broadcast)."""
+        if frame.dst_mac != self.nic.mac and not frame.dst_mac.is_broadcast:
+            return
+        packet = frame.packet
+        if packet.dst == self.ip_addr or frame.dst_mac.is_broadcast:
+            self.stack.deliver(packet)
+        # Hosts do not forward.
+
+    def __repr__(self):
+        return f"<Host {self.name} {self.ip_addr}>"

@@ -1,0 +1,97 @@
+"""Egress queues.
+
+Every transmitting interface owns a :class:`DropTailQueue`.  The queue is
+where congestion becomes delay: when iPerf cross-traffic saturates the
+WiFi channel (paper §4.3), probe frames wait here and the measured RTT
+CDF shifts right.
+"""
+
+from collections import deque
+
+
+class QueueStats:
+    """Counters exposed by a queue for tests and reports."""
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "bytes_enqueued", "bytes_dropped")
+
+    def __init__(self):
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.bytes_enqueued = 0
+        self.bytes_dropped = 0
+
+    def __repr__(self):
+        return (
+            f"QueueStats(enqueued={self.enqueued}, dequeued={self.dequeued}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class DropTailQueue:
+    """A FIFO with packet-count and byte limits.
+
+    Items must expose a ``wire_size`` attribute (packets and frames both
+    do).  Arrivals beyond either limit are dropped at the tail.
+    """
+
+    def __init__(self, packet_limit=1000, byte_limit=None):
+        if packet_limit is not None and packet_limit < 1:
+            raise ValueError("packet_limit must be >= 1 or None")
+        self.packet_limit = packet_limit
+        self.byte_limit = byte_limit
+        self._items = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def bytes_queued(self):
+        return self._bytes
+
+    @property
+    def is_empty(self):
+        return not self._items
+
+    def would_drop(self, item):
+        """Whether enqueueing ``item`` now would overflow a limit."""
+        if self.packet_limit is not None and len(self._items) >= self.packet_limit:
+            return True
+        if (
+            self.byte_limit is not None
+            and self._bytes + item.wire_size > self.byte_limit
+        ):
+            return True
+        return False
+
+    def enqueue(self, item):
+        """Append ``item``; returns ``False`` (and counts a drop) on overflow."""
+        if self.would_drop(item):
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += item.wire_size
+            return False
+        self._items.append(item)
+        self._bytes += item.wire_size
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += item.wire_size
+        return True
+
+    def dequeue(self):
+        """Pop the head item, or ``None`` when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._bytes -= item.wire_size
+        self.stats.dequeued += 1
+        return item
+
+    def peek(self):
+        """Head item without removing it, or ``None``."""
+        return self._items[0] if self._items else None
+
+    def clear(self):
+        """Drop everything currently queued (not counted as tail drops)."""
+        self._items.clear()
+        self._bytes = 0

@@ -1,0 +1,60 @@
+"""A learning Ethernet switch.
+
+Models the testbed switch of the paper's Figure 2 that connects the
+measurement server, the load server, and the AP's wired port.  Standard
+transparent-bridge behaviour: learn source MACs, forward to the learned
+port, flood unknowns and broadcast.
+"""
+
+from repro.net.interface import EthernetInterface
+
+
+class Switch:
+    """An N-port store-and-forward learning switch."""
+
+    def __init__(self, sim, name="switch"):
+        self._sim = sim
+        self.name = name
+        self.ports = []
+        self._fdb = {}  # MacAddress -> EthernetInterface
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+
+    def new_port(self, link=None):
+        """Create a port; optionally attach it to ``link`` right away."""
+        from repro.net.addresses import MacAddress
+
+        port = EthernetInterface(
+            self._sim,
+            owner=self,
+            # Switch ports are transparent; a MAC is only needed for repr.
+            mac=MacAddress.from_index(len(self.ports), oui=0x02FFFF),
+            name=f"{self.name}.p{len(self.ports)}",
+        )
+        self.ports.append(port)
+        if link is not None:
+            port.attach_link(link)
+        return port
+
+    def handle_frame(self, frame, ingress):
+        """Bridge one frame."""
+        self._fdb[frame.src_mac] = ingress
+        if frame.dst_mac.is_broadcast:
+            self._flood(frame, ingress)
+            return
+        egress = self._fdb.get(frame.dst_mac)
+        if egress is None:
+            self._flood(frame, ingress)
+        elif egress is not ingress:
+            self.frames_forwarded += 1
+            egress.send(frame)
+        # Frames addressed back out the ingress port are filtered.
+
+    def _flood(self, frame, ingress):
+        self.frames_flooded += 1
+        for port in self.ports:
+            if port is not ingress and port.link is not None:
+                port.send(frame)
+
+    def __repr__(self):
+        return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -1,0 +1,423 @@
+"""A small TCP implementation.
+
+Implements the parts of TCP the paper's tools exercise:
+
+* three-way handshake (AcuteMon and MobiPerf time SYN -> SYN|ACK),
+* request/response data transfer with immediate ACKs (httping and
+  AcuteMon's HTTP probes),
+* orderly FIN teardown and RST for closed ports (MobiPerf's
+  ``InetAddress`` method observes SYN -> RST),
+* a plain fixed-RTO retransmission scheme so probes survive configured
+  netem loss.
+
+Deliberately out of scope (documented here rather than half-built):
+congestion control, window management, SACK, and out-of-order
+reassembly — the testbed paths are short, lossless by default, and
+request/response sized, so none of these affect the reproduced results.
+"""
+
+from repro.net.packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    Packet,
+    TcpSegment,
+)
+from repro.sim.timers import Timer
+
+#: Maximum segment size used when applications send large buffers.
+DEFAULT_MSS = 1460
+
+#: Fixed retransmission timeout (seconds) and retry budget.
+DEFAULT_RTO = 1.0
+MAX_RETRIES = 5
+
+# Connection states (subset of RFC 793).
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+LAST_ACK = "LAST_ACK"
+TIME_WAIT = "TIME_WAIT"
+
+
+class TcpError(Exception):
+    """Raised for invalid TCP API use (e.g. sending on a closed connection)."""
+
+
+class TcpListener:
+    """A passive socket; calls ``on_connection(conn)`` once ESTABLISHED."""
+
+    def __init__(self, stack, port, on_connection):
+        self.stack = stack
+        self.port = port
+        self.on_connection = on_connection
+
+    def close(self):
+        self.stack._listeners.pop(self.port, None)
+
+
+class TcpConnection:
+    """One end of a TCP connection.
+
+    Callbacks (all optional):
+
+    ``on_connected(conn)``
+        Handshake completed (client: SYN|ACK received; server: ACK received).
+    ``on_data(conn, nbytes, meta)``
+        Payload bytes arrived (called per segment).
+    ``on_close(conn)``
+        Peer FIN processed and teardown finished.
+    ``on_reset(conn)``
+        Peer sent RST (e.g. closed port).
+    """
+
+    def __init__(self, stack, local_port, remote_ip, remote_port, meta=None):
+        self.stack = stack
+        self.sim = stack.sim
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.meta = dict(meta) if meta else {}
+        self.state = CLOSED
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.rcv_nxt = 0
+        self.mss = DEFAULT_MSS
+        self.on_connected = None
+        self.on_data = None
+        self.on_close = None
+        self.on_reset = None
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self.retransmissions = 0
+        self._retx_queue = []  # [(seq, segment, retries), ...] in seq order
+        self._retx_timer = Timer(self.sim, self._on_rto, label="tcp-rto")
+        self._fin_sent = False
+
+    # -- public API ---------------------------------------------------
+
+    @property
+    def key(self):
+        return (self.local_port, self.remote_ip, self.remote_port)
+
+    def open_active(self):
+        """Client side: send SYN."""
+        if self.state != CLOSED:
+            raise TcpError(f"open_active in state {self.state}")
+        iss = self.stack.initial_sequence_number()
+        self.snd_una = iss
+        self.snd_nxt = iss
+        self.state = SYN_SENT
+        self._send_segment(TCP_SYN, seq_len=1, meta=self.meta)
+
+    def send(self, nbytes, meta=None, push=True):
+        """Send ``nbytes`` of application data (segmented at the MSS)."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise TcpError(f"send in state {self.state}")
+        if nbytes <= 0:
+            raise TcpError("send requires a positive byte count")
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(remaining, self.mss)
+            remaining -= chunk
+            flags = TCP_ACK | (TCP_PSH if push and remaining == 0 else 0)
+            self._send_segment(flags, payload_size=chunk, meta=meta)
+        self.bytes_sent += nbytes
+
+    def close(self):
+        """Send FIN (half-close); teardown completes via callbacks."""
+        if self.state in (CLOSED, TIME_WAIT, LAST_ACK, FIN_WAIT_1, FIN_WAIT_2):
+            return
+        if self.state == SYN_SENT:
+            self._teardown()
+            return
+        if self.state == ESTABLISHED or self.state == SYN_RCVD:
+            self.state = FIN_WAIT_1
+        elif self.state == CLOSE_WAIT:
+            self.state = LAST_ACK
+        self._fin_sent = True
+        self._send_segment(TCP_FIN | TCP_ACK, seq_len=1)
+
+    def abort(self):
+        """Send RST and drop all state."""
+        if self.state != CLOSED:
+            self._emit(TcpSegment(
+                self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt,
+                TCP_RST | TCP_ACK,
+            ))
+        self._teardown()
+
+    # -- segment handling ----------------------------------------------
+
+    def handle_segment(self, packet, segment):
+        """Process one inbound segment (stack dispatch)."""
+        if segment.has(TCP_RST):
+            self._teardown()
+            if self.on_reset:
+                self.on_reset(self)
+            return
+
+        if self.state == SYN_SENT:
+            self._handle_in_syn_sent(packet, segment)
+            return
+
+        if segment.has(TCP_SYN):
+            if self.state == SYN_RCVD:
+                # Duplicate SYN: retransmit our SYN|ACK via the RTO path.
+                return
+            self._emit_rst(segment)
+            return
+
+        if segment.has(TCP_ACK):
+            self._process_ack(segment.ack)
+
+        advanced = False
+        if segment.payload_size and segment.seq == self.rcv_nxt:
+            self.rcv_nxt = (self.rcv_nxt + segment.payload_size) & 0xFFFFFFFF
+            self.bytes_received += segment.payload_size
+            advanced = True
+        elif segment.payload_size:
+            # Out-of-window / duplicate data: re-ACK and drop.
+            self._send_ack(meta=packet.meta)
+            return
+
+        if self.state == SYN_RCVD and segment.has(TCP_ACK):
+            self.state = ESTABLISHED
+            if self.on_connected:
+                self.on_connected(self)
+
+        fin_processed = False
+        if segment.has(TCP_FIN):
+            self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
+            advanced = True
+            fin_processed = True
+
+        if advanced:
+            self._send_ack(meta=packet.meta)
+
+        if segment.payload_size and self.on_data:
+            self.on_data(self, segment.payload_size, dict(packet.meta))
+
+        if fin_processed:
+            self._handle_peer_fin()
+        self._maybe_finish_close()
+
+    def _handle_in_syn_sent(self, packet, segment):
+        if not (segment.has(TCP_SYN) and segment.has(TCP_ACK)):
+            return
+        if segment.ack != (self.snd_una + 1) & 0xFFFFFFFF:
+            self._emit_rst(segment)
+            return
+        self._process_ack(segment.ack)
+        self.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
+        self.state = ESTABLISHED
+        self._send_ack(meta=packet.meta)
+        if self.on_connected:
+            self.on_connected(self)
+
+    def _handle_peer_fin(self):
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT_1:
+            self.state = TIME_WAIT if not self._retx_queue else CLOSE_WAIT
+        elif self.state == FIN_WAIT_2:
+            self.state = TIME_WAIT
+        if self.state == TIME_WAIT:
+            self._finish_time_wait()
+
+    def _maybe_finish_close(self):
+        if self.state == LAST_ACK and not self._retx_queue:
+            self._teardown()
+            if self.on_close:
+                self.on_close(self)
+        elif self.state == FIN_WAIT_1 and not self._retx_queue:
+            self.state = FIN_WAIT_2
+
+    def _finish_time_wait(self):
+        # Compressed TIME_WAIT: the simulation tears down immediately; the
+        # stack's ISN generator guarantees no segment confusion.
+        self._teardown()
+        if self.on_close:
+            self.on_close(self)
+
+    def _process_ack(self, ack):
+        if not self._seq_le(self.snd_una, ack):
+            return
+        self.snd_una = ack
+        self._retx_queue = [
+            entry for entry in self._retx_queue
+            if not self._seq_le(entry[0] + entry[1].seq_space, ack)
+        ]
+        if self._retx_queue:
+            self._retx_timer.restart(self.stack.rto)
+        else:
+            self._retx_timer.cancel()
+
+    @staticmethod
+    def _seq_le(a, b):
+        """a <= b in 32-bit sequence space."""
+        return ((b - a) & 0xFFFFFFFF) < 0x80000000
+
+    # -- emission -------------------------------------------------------
+
+    def _send_segment(self, flags, payload_size=0, seq_len=None, meta=None):
+        segment = TcpSegment(
+            self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt,
+            flags, payload_size,
+        )
+        consumed = segment.seq_space if seq_len is None else seq_len
+        self.snd_nxt = (self.snd_nxt + consumed) & 0xFFFFFFFF
+        if consumed:
+            self._retx_queue.append((segment.seq, segment, 0))
+            if not self._retx_timer.armed:
+                self._retx_timer.start(self.stack.rto)
+        self._emit(segment, meta=meta)
+
+    def _send_ack(self, meta=None):
+        self._emit(TcpSegment(
+            self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, TCP_ACK,
+        ), meta=meta)
+
+    def _emit(self, segment, meta=None):
+        merged = dict(self.meta)
+        if meta:
+            merged.update(meta)
+        packet = Packet(
+            self.stack.ip.local_ip, self.remote_ip, segment, meta=merged,
+            created_at=self.sim.now,
+        )
+        self.stack.ip.send(packet)
+
+    def _emit_rst(self, inbound):
+        self._emit(TcpSegment(
+            self.local_port, self.remote_port,
+            inbound.ack, (inbound.seq + inbound.seq_space) & 0xFFFFFFFF,
+            TCP_RST | TCP_ACK,
+        ))
+
+    def _on_rto(self):
+        if not self._retx_queue:
+            return
+        refreshed = []
+        for seq, segment, retries in self._retx_queue:
+            if retries + 1 > MAX_RETRIES:
+                self._teardown()
+                if self.on_reset:
+                    self.on_reset(self)
+                return
+            self.retransmissions += 1
+            self._emit(segment, meta=self.meta)
+            refreshed.append((seq, segment, retries + 1))
+        self._retx_queue = refreshed
+        self._retx_timer.start(self.stack.rto)
+
+    def _teardown(self):
+        self._retx_timer.cancel()
+        self._retx_queue = []
+        self.state = CLOSED
+        self.stack._forget(self)
+
+    def __repr__(self):
+        return (
+            f"<TcpConnection {self.local_port}<->{self.remote_ip}:"
+            f"{self.remote_port} {self.state}>"
+        )
+
+
+class TcpStack:
+    """Per-host TCP state: listeners + active connections."""
+
+    def __init__(self, ip_stack, rto=DEFAULT_RTO):
+        self.ip = ip_stack
+        self.sim = ip_stack.sim
+        self.rto = rto
+        self._listeners = {}
+        self._connections = {}
+        self._isn = self.ip.rng.randrange(1 << 32) if self.ip.rng else 1
+
+    def initial_sequence_number(self):
+        """A fresh ISN (deterministic stride keeps flows distinguishable)."""
+        self._isn = (self._isn + 64009) & 0xFFFFFFFF
+        return self._isn
+
+    def listen(self, port, on_connection):
+        """Open a passive socket on ``port``."""
+        if port in self._listeners:
+            raise TcpError(f"port {port} already listening")
+        listener = TcpListener(self, port, on_connection)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, remote_ip, remote_port, local_port=None, meta=None):
+        """Start an active open; returns the connection (configure callbacks
+        before the next event fires — the SYN is sent immediately)."""
+        if local_port is None:
+            local_port = self.ip.allocate_port()
+        conn = TcpConnection(self, local_port, remote_ip, remote_port, meta=meta)
+        key = conn.key
+        if key in self._connections:
+            raise TcpError(f"connection {key} already exists")
+        self._connections[key] = conn
+        conn.open_active()
+        return conn
+
+    def deliver(self, packet):
+        """IP-stack dispatch for an inbound TCP packet."""
+        segment = packet.payload
+        key = (segment.dst_port, packet.src, segment.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.handle_segment(packet, segment)
+            return
+        if segment.has(TCP_SYN) and not segment.has(TCP_ACK):
+            listener = self._listeners.get(segment.dst_port)
+            if listener is not None:
+                self._accept(listener, packet, segment)
+                return
+        if not segment.has(TCP_RST):
+            self._refuse(packet, segment)
+
+    def _accept(self, listener, packet, segment):
+        conn = TcpConnection(
+            self, segment.dst_port, packet.src, segment.src_port,
+            meta=packet.meta,
+        )
+        self._connections[conn.key] = conn
+        conn.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
+        iss = self.initial_sequence_number()
+        conn.snd_una = iss
+        conn.snd_nxt = iss
+        conn.state = SYN_RCVD
+        listener.on_connection(conn)
+        conn._send_segment(TCP_SYN | TCP_ACK, seq_len=1, meta=packet.meta)
+
+    def _refuse(self, packet, segment):
+        """RST a segment for which no socket exists (closed port)."""
+        if segment.has(TCP_ACK):
+            rst = TcpSegment(segment.dst_port, segment.src_port,
+                             segment.ack, 0, TCP_RST)
+        else:
+            rst = TcpSegment(
+                segment.dst_port, segment.src_port, 0,
+                (segment.seq + segment.seq_space) & 0xFFFFFFFF,
+                TCP_RST | TCP_ACK,
+            )
+        response = Packet(
+            self.ip.local_ip, packet.src, rst, meta=dict(packet.meta),
+            created_at=self.sim.now,
+        )
+        self.ip.send(response)
+
+    def _forget(self, conn):
+        self._connections.pop(conn.key, None)
+
+    @property
+    def active_connections(self):
+        return len(self._connections)

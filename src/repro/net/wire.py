@@ -1,0 +1,217 @@
+"""Rendering simulation packets to real wire bytes (and back).
+
+Sniffers in the testbed write genuine pcap files; the analysis pipeline
+re-derives network-level RTTs by parsing them, exactly as the paper's
+authors post-processed their captures.  That round trip requires real
+encodings: this module produces RFC-conformant IPv4/ICMP/UDP/TCP bytes
+with valid checksums, and parses them back into
+:class:`~repro.net.packet.Packet` objects.
+
+Payload bytes are deterministic filler (the byte count is what matters to
+the simulation), except that probe ids are embedded in the first payload
+bytes of UDP/ICMP probes so captures remain matchable.
+"""
+
+import struct
+
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.packet import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    IPV4_HEADER_LEN,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    IcmpEcho,
+    IcmpTimeExceeded,
+    Packet,
+    TcpSegment,
+    UdpDatagram,
+)
+
+_FILLER = b"\xa5"
+
+
+def _payload_filler(size, probe_id=None):
+    if probe_id is None:
+        return _FILLER * size
+    tag = struct.pack("!Q", probe_id & 0xFFFFFFFFFFFFFFFF)
+    if size <= len(tag):
+        return tag[:size]
+    return tag + _FILLER * (size - len(tag))
+
+
+def encode_ipv4(packet, ident=0):
+    """Encode a :class:`Packet` as IPv4 bytes with a valid header checksum."""
+    body = _encode_transport(packet)
+    total_length = IPV4_HEADER_LEN + len(body)
+    header = struct.pack(
+        "!BBHHHBBH4s4s",
+        (4 << 4) | 5,  # version 4, IHL 5 words
+        0,  # DSCP/ECN
+        total_length,
+        ident & 0xFFFF,
+        0,  # flags / fragment offset
+        packet.ttl,
+        packet.protocol,
+        0,  # checksum placeholder
+        packet.src.packed,
+        packet.dst.packed,
+    )
+    checksum = internet_checksum(header)
+    header = header[:10] + struct.pack("!H", checksum) + header[12:]
+    return header + body
+
+
+def _encode_transport(packet):
+    payload = packet.payload
+    probe_id = packet.probe_id
+    if isinstance(payload, IcmpEcho):
+        return _encode_icmp_echo(payload, probe_id)
+    if isinstance(payload, IcmpTimeExceeded):
+        return _encode_icmp_time_exceeded(payload)
+    if isinstance(payload, UdpDatagram):
+        return _encode_udp(packet, payload, probe_id)
+    if isinstance(payload, TcpSegment):
+        return _encode_tcp(packet, payload, probe_id)
+    raise TypeError(f"cannot encode payload {payload!r}")
+
+
+def _encode_icmp_echo(echo, probe_id):
+    body = _payload_filler(echo.payload_size, probe_id)
+    header = struct.pack("!BBHHH", echo.icmp_type, 0, 0, echo.ident, echo.seq)
+    checksum = internet_checksum(header + body)
+    header = header[:2] + struct.pack("!H", checksum) + header[4:]
+    return header + body
+
+
+def _encode_icmp_time_exceeded(message):
+    inner = encode_ipv4(message.original)[: IPV4_HEADER_LEN + 8]
+    inner = inner.ljust(IPV4_HEADER_LEN + 8, b"\x00")
+    header = struct.pack("!BBHI", ICMP_TIME_EXCEEDED, 0, 0, 0)
+    checksum = internet_checksum(header + inner)
+    header = header[:2] + struct.pack("!H", checksum) + header[4:]
+    return header + inner
+
+
+def _encode_udp(packet, datagram, probe_id):
+    body = _payload_filler(datagram.payload_size, probe_id)
+    length = 8 + len(body)
+    header = struct.pack(
+        "!HHHH", datagram.src_port, datagram.dst_port, length, 0
+    )
+    pseudo = pseudo_header(packet.src, packet.dst, PROTO_UDP, length)
+    checksum = internet_checksum(pseudo + header + body)
+    if checksum == 0:
+        checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+    header = header[:6] + struct.pack("!H", checksum)
+    return header + body
+
+
+def _encode_tcp(packet, segment, probe_id):
+    body = _payload_filler(segment.payload_size, probe_id)
+    header = struct.pack(
+        "!HHIIBBHHH",
+        segment.src_port,
+        segment.dst_port,
+        segment.seq,
+        segment.ack,
+        5 << 4,  # data offset 5 words, no options
+        segment.flags,
+        65535,  # advertised window
+        0,  # checksum placeholder
+        0,  # urgent pointer
+    )
+    pseudo = pseudo_header(packet.src, packet.dst, PROTO_TCP, len(header) + len(body))
+    checksum = internet_checksum(pseudo + header + body)
+    header = header[:16] + struct.pack("!H", checksum) + header[18:]
+    return header + body
+
+
+def decode_ipv4(data, allow_truncated=False):
+    """Parse IPv4 bytes back into a :class:`Packet`.
+
+    Raises :class:`ValueError` on malformed input.  The embedded probe id
+    (if the payload is long enough to carry one) is restored into
+    ``packet.meta['probe_id']``.  ``allow_truncated`` accepts a datagram
+    cut short of its total-length field — needed for the header+8-bytes
+    excerpt inside ICMP error messages.
+    """
+    import ipaddress
+
+    if len(data) < IPV4_HEADER_LEN:
+        raise ValueError("truncated IPv4 header")
+    version_ihl = data[0]
+    if version_ihl >> 4 != 4:
+        raise ValueError(f"not IPv4 (version={version_ihl >> 4})")
+    ihl = (version_ihl & 0x0F) * 4
+    total_length = struct.unpack_from("!H", data, 2)[0]
+    if total_length > len(data):
+        if not allow_truncated:
+            raise ValueError("IPv4 total length exceeds buffer")
+        total_length = len(data)
+    ttl = data[8]
+    protocol = data[9]
+    src = ipaddress.IPv4Address(data[12:16])
+    dst = ipaddress.IPv4Address(data[16:20])
+    body = data[ihl:total_length]
+    payload, probe_id = _decode_transport(protocol, body)
+    packet = Packet(src, dst, payload, ttl=ttl)
+    if probe_id is not None:
+        packet.meta["probe_id"] = probe_id
+    return packet
+
+
+def _decode_transport(protocol, body):
+    if protocol == PROTO_ICMP:
+        return _decode_icmp(body)
+    if protocol == PROTO_UDP:
+        return _decode_udp(body)
+    if protocol == PROTO_TCP:
+        return _decode_tcp(body)
+    raise ValueError(f"unsupported protocol {protocol}")
+
+
+def _extract_probe_id(body):
+    if len(body) >= 8:
+        tag = struct.unpack_from("!Q", body, 0)[0]
+        # Filler-only payloads decode to the repeated filler pattern.
+        if tag != int.from_bytes(_FILLER * 8, "big"):
+            return tag
+    return None
+
+
+def _decode_icmp(body):
+    if len(body) < 8:
+        raise ValueError("truncated ICMP header")
+    icmp_type = body[0]
+    if icmp_type in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+        ident, seq = struct.unpack_from("!HH", body, 4)
+        payload = body[8:]
+        echo = IcmpEcho(icmp_type, ident, seq, payload_size=len(payload))
+        return echo, _extract_probe_id(payload)
+    if icmp_type == ICMP_TIME_EXCEEDED:
+        inner = decode_ipv4(body[8:], allow_truncated=True)
+        return IcmpTimeExceeded(inner), inner.probe_id
+    raise ValueError(f"unsupported ICMP type {icmp_type}")
+
+
+def _decode_udp(body):
+    if len(body) < 8:
+        raise ValueError("truncated UDP header")
+    src_port, dst_port, length = struct.unpack_from("!HHH", body, 0)
+    payload = body[8:length]
+    datagram = UdpDatagram(src_port, dst_port, payload_size=len(payload))
+    return datagram, _extract_probe_id(payload)
+
+
+def _decode_tcp(body):
+    if len(body) < 20:
+        raise ValueError("truncated TCP header")
+    src_port, dst_port, seq, ack = struct.unpack_from("!HHII", body, 0)
+    offset = (body[12] >> 4) * 4
+    flags = body[13]
+    payload = body[offset:]
+    segment = TcpSegment(src_port, dst_port, seq, ack, flags, payload_size=len(payload))
+    return segment, _extract_probe_id(payload)

@@ -1,0 +1,61 @@
+"""Latency distributions for the phone's processing stages.
+
+The paper's Table 3 reports min/mean/max for the driver path delays; a
+triangular distribution parameterised the same way (min, mode, max) is
+the simplest shape that reproduces all three statistics, so every
+processing-cost knob in the phone model is a :class:`DelayDistribution`.
+"""
+
+
+class DelayDistribution:
+    """A triangular delay distribution, optionally scaled.
+
+    ``scaled(factor)`` returns a proportionally slower/faster copy — used
+    to derive per-phone costs from per-chipset baselines (the driver runs
+    on the host CPU, so a 1 GHz single-core phone pays more than a
+    2.26 GHz quad-core).
+    """
+
+    __slots__ = ("low", "mode", "high")
+
+    def __init__(self, low, mode, high):
+        if not low <= mode <= high:
+            raise ValueError(
+                f"require low <= mode <= high, got {(low, mode, high)!r}"
+            )
+        if low < 0:
+            raise ValueError("delays cannot be negative")
+        self.low = low
+        self.mode = mode
+        self.high = high
+
+    @classmethod
+    def constant(cls, value):
+        return cls(value, value, value)
+
+    @classmethod
+    def from_ms(cls, low, mode, high):
+        """Convenience constructor with millisecond arguments."""
+        return cls(low * 1e-3, mode * 1e-3, high * 1e-3)
+
+    @property
+    def mean(self):
+        return (self.low + self.mode + self.high) / 3.0
+
+    def draw(self, rng):
+        """Sample one delay."""
+        if self.low == self.high:
+            return self.low
+        return rng.triangular(self.low, self.high, self.mode)
+
+    def scaled(self, factor):
+        """A copy with all three parameters multiplied by ``factor``."""
+        return DelayDistribution(
+            self.low * factor, self.mode * factor, self.high * factor
+        )
+
+    def __repr__(self):
+        return (
+            f"DelayDistribution({self.low * 1e3:.3f}ms, "
+            f"{self.mode * 1e3:.3f}ms, {self.high * 1e3:.3f}ms)"
+        )

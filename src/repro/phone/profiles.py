@@ -1,0 +1,140 @@
+"""The five smartphones of Table 1, as simulation profiles.
+
+Each profile bundles a chipset (bus-sleep personality), the measured
+adaptive-PSM timeout ``Tip`` and listen intervals (Table 4), a CPU speed
+factor that scales the host-side processing costs, and the runtime
+(Dalvik vs native) costs the paper's earlier work [23] identified.
+
++----------------+---------+-------------------+---------+-----------+
+| Model          | Android | CPU (cores)       | WNIC    | Tip       |
++================+=========+===================+=========+===========+
+| Google Nexus 5 | 4.4.2   | 2.26 GHz (4)      | BCM4339 | ~205 ms   |
+| Google Nexus 4 | 4.4.4   | 1.5 GHz (4)       | WCN3660 | ~40 ms    |
+| HTC One        | 4.2.2   | 1.7 GHz (4)       | WCN3680 | ~400 ms   |
+| Sony Xperia J  | 4.0.4   | 1 GHz (1)         | BCM4330 | ~210 ms   |
+| Samsung Grand  | 4.1.2   | 1.2 GHz (2)       | BCM4329 | ~45 ms    |
++----------------+---------+-------------------+---------+-----------+
+"""
+
+from repro.phone.chipset import BCM4329, BCM4330, BCM4339, WCN3660, WCN3680
+from repro.phone.latency import DelayDistribution
+
+#: Baseline user-space costs (scaled per phone by ``cpu_factor``):
+#: a pre-compiled native C binary vs the Dalvik runtime ([23] and §4.2.2 —
+#: native keeps Δdu−k under ~0.5 ms on fast phones, under ~1 ms on slow).
+NATIVE_RUNTIME_COST = DelayDistribution.from_ms(0.02, 0.05, 0.20)
+DALVIK_RUNTIME_COST = DelayDistribution.from_ms(0.15, 0.40, 1.60)
+
+#: Baseline kernel socket-path costs.
+KERNEL_TX_COST = DelayDistribution.from_ms(0.010, 0.020, 0.060)
+KERNEL_RX_COST = DelayDistribution.from_ms(0.010, 0.030, 0.090)
+
+
+class PhoneProfile:
+    """Everything phone-specific the simulation needs."""
+
+    def __init__(self, key, name, android_version, cpu_desc, cores, ram_mb,
+                 chipset, cpu_factor, psm_timeout, psm_timeout_jitter,
+                 listen_interval_assoc, listen_interval_actual=0,
+                 ping_integer_above_100ms=False, driver_cpu_factor=None):
+        self.key = key
+        self.name = name
+        self.android_version = android_version
+        self.cpu_desc = cpu_desc
+        self.cores = cores
+        self.ram_mb = ram_mb
+        self.chipset = chipset
+        self.cpu_factor = cpu_factor
+        #: Driver paths run in kernel threads and scale more gently with
+        #: CPU speed than the user-space runtime does (Figure 7 shows the
+        #: slow phones' Δdk−n only modestly above the Nexus 5's).
+        self.driver_cpu_factor = (
+            driver_cpu_factor if driver_cpu_factor is not None
+            else 1.0 + (cpu_factor - 1.0) * 0.2
+        )
+        #: Adaptive-PSM timeout Tip and its observed run-to-run jitter.
+        self.psm_timeout = psm_timeout
+        self.psm_timeout_jitter = psm_timeout_jitter
+        self.listen_interval_assoc = listen_interval_assoc
+        self.listen_interval_actual = listen_interval_actual
+        #: Nexus 4's ping truncates RTTs above 100 ms to integer ms (§3.1).
+        self.ping_integer_above_100ms = ping_integer_above_100ms
+
+    @property
+    def sdio_idle_window(self):
+        """``Tis`` for this phone's chipset."""
+        return self.chipset.idle_window
+
+    def scaled_chipset(self):
+        """The chipset with CPU-dependent costs adjusted for this phone."""
+        return self.chipset.scaled(self.driver_cpu_factor)
+
+    def runtime_cost(self, runtime):
+        """User-space per-operation cost distribution for a runtime."""
+        if runtime == "native":
+            return NATIVE_RUNTIME_COST.scaled(self.cpu_factor)
+        if runtime == "dalvik":
+            return DALVIK_RUNTIME_COST.scaled(self.cpu_factor)
+        raise ValueError(f"unknown runtime {runtime!r}")
+
+    def kernel_costs(self):
+        """(tx, rx) kernel path cost distributions."""
+        return (
+            KERNEL_TX_COST.scaled(self.cpu_factor),
+            KERNEL_RX_COST.scaled(self.cpu_factor),
+        )
+
+    def __repr__(self):
+        return f"<PhoneProfile {self.name} ({self.chipset.name})>"
+
+
+NEXUS_5 = PhoneProfile(
+    key="nexus5", name="Google Nexus 5", android_version="4.4.2",
+    cpu_desc="2.26GHz", cores=4, ram_mb=2048, chipset=BCM4339,
+    cpu_factor=1.0, psm_timeout=205e-3, psm_timeout_jitter=20e-3,
+    listen_interval_assoc=10,
+)
+
+NEXUS_4 = PhoneProfile(
+    key="nexus4", name="Google Nexus 4", android_version="4.4.4",
+    cpu_desc="1.5GHz", cores=4, ram_mb=2048, chipset=WCN3660,
+    cpu_factor=1.15, psm_timeout=40e-3, psm_timeout_jitter=15e-3,
+    listen_interval_assoc=1, ping_integer_above_100ms=True,
+)
+
+HTC_ONE = PhoneProfile(
+    key="htc_one", name="HTC One", android_version="4.2.2",
+    cpu_desc="1.7GHz", cores=4, ram_mb=2048, chipset=WCN3680,
+    cpu_factor=1.1, psm_timeout=400e-3, psm_timeout_jitter=30e-3,
+    listen_interval_assoc=1,
+)
+
+XPERIA_J = PhoneProfile(
+    key="xperia_j", name="Sony Xperia J", android_version="4.0.4",
+    cpu_desc="1GHz", cores=1, ram_mb=512, chipset=BCM4330,
+    cpu_factor=2.6, psm_timeout=210e-3, psm_timeout_jitter=20e-3,
+    listen_interval_assoc=10,
+)
+
+GALAXY_GRAND = PhoneProfile(
+    key="galaxy_grand", name="Samsung Grand", android_version="4.1.2",
+    cpu_desc="1.2GHz", cores=2, ram_mb=1024, chipset=BCM4329,
+    cpu_factor=1.9, psm_timeout=45e-3, psm_timeout_jitter=10e-3,
+    listen_interval_assoc=10,
+)
+
+#: Registry keyed by profile key.
+PHONES = {
+    profile.key: profile
+    for profile in (NEXUS_5, NEXUS_4, HTC_ONE, XPERIA_J, GALAXY_GRAND)
+}
+
+
+def phone_profile(key):
+    """Look up a profile by key; raises with the known keys on a miss."""
+    try:
+        return PHONES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown phone {key!r}; known: {sorted(PHONES)}"
+        ) from None

@@ -1,0 +1,87 @@
+"""tcpdump on the phone.
+
+The paper records its kernel-level timestamps (tok/tik) "with bpf and
+libpcap" — i.e. tcpdump running in an adb shell.  :class:`PhoneTcpdump`
+reproduces that: it subscribes to the phone's kernel tap and writes a
+real linktype-101 (raw IPv4) pcap file, from which
+:func:`kernel_rtts_from_pcap` re-derives the kernel-level RTT ``dk``
+offline, exactly as the authors post-processed their captures.
+"""
+
+from repro.net import wire
+from repro.net.packet import TCP_ACK, TcpSegment
+from repro.sniffer.pcap import LINKTYPE_RAW, PcapReader, PcapWriter
+
+
+class PhoneTcpdump:
+    """A kernel-tap capture that writes raw-IP pcap."""
+
+    def __init__(self, phone, path, snaplen=65535):
+        self.phone = phone
+        self.path = path
+        self.packets_captured = 0
+        self._writer = PcapWriter(path, linktype=LINKTYPE_RAW,
+                                  snaplen=snaplen)
+        phone.kernel.add_tap(self._tap)
+
+    def _tap(self, packet, direction):
+        if self._writer is None:
+            return
+        self.packets_captured += 1
+        self._writer.write(self.phone.sim.now, wire.encode_ipv4(packet))
+
+    def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+def _is_pure_tcp_ack(packet):
+    payload = packet.payload
+    return (isinstance(payload, TcpSegment)
+            and payload.payload_size == 0
+            and payload.flags == TCP_ACK)
+
+
+def kernel_rtts_from_pcap(path, phone_ip):
+    """Recover per-probe kernel RTTs (dk) from a phone tcpdump capture.
+
+    Pairs each probe's first outgoing packet with its first substantive
+    response (matching the live collector's rules).  Returns
+    ``{probe_id: dk_seconds}``.
+    """
+    out_times = {}
+    in_times = {}
+    in_is_ack = {}
+    with PcapReader(path) as reader:
+        if reader.linktype != LINKTYPE_RAW:
+            raise ValueError(
+                f"expected raw-IP capture (linktype 101), got {reader.linktype}"
+            )
+        for timestamp, data in reader:
+            packet = wire.decode_ipv4(data)
+            probe_id = packet.probe_id
+            if probe_id is None:
+                continue
+            if packet.src == phone_ip:
+                out_times.setdefault(probe_id, timestamp)
+            elif packet.dst == phone_ip:
+                pure_ack = _is_pure_tcp_ack(packet)
+                if probe_id not in in_times:
+                    in_times[probe_id] = timestamp
+                    in_is_ack[probe_id] = pure_ack
+                elif in_is_ack.get(probe_id) and not pure_ack:
+                    in_times[probe_id] = timestamp
+                    in_is_ack[probe_id] = False
+    return {
+        probe_id: in_times[probe_id] - sent
+        for probe_id, sent in out_times.items()
+        if probe_id in in_times
+    }

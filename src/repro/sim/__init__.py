@@ -1,0 +1,61 @@
+"""Discrete-event simulation kernel.
+
+Everything in :mod:`repro` runs on top of this small, deterministic
+event-driven simulator.  The design goals are:
+
+* **Determinism** — two runs with the same seed produce bit-identical
+  traces.  All randomness flows through named :class:`~repro.sim.rng.RngRegistry`
+  streams; wall-clock time never enters the simulation.
+* **Transparency** — the scheduler is a plain binary heap of events; a
+  :class:`~repro.sim.trace.TraceRecorder` can capture every interesting
+  transition for tests and debugging.
+* **Callback style** — components schedule plain callables.  Helper
+  classes (:class:`~repro.sim.timers.Timer`,
+  :class:`~repro.sim.timers.PeriodicTimer`) cover the recurring patterns
+  used by drivers (watchdogs) and access points (beacons).
+"""
+
+from repro.sim.errors import SchedulerError, SimTimeError, SimulationError
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import (
+    KIBIBYTE,
+    MEBIBYTE,
+    TU,
+    bits_to_bytes,
+    bytes_to_bits,
+    kbps,
+    mbps,
+    ms,
+    seconds_to_ms,
+    seconds_to_us,
+    tu,
+    us,
+)
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "RngRegistry",
+    "SchedulerError",
+    "SimTimeError",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceRecorder",
+    "KIBIBYTE",
+    "MEBIBYTE",
+    "TU",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "kbps",
+    "mbps",
+    "ms",
+    "seconds_to_ms",
+    "seconds_to_us",
+    "tu",
+    "us",
+]

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.sim`."""
+
+
+class SimTimeError(SimulationError):
+    """An operation was scheduled in the past or with an invalid delay."""
+
+
+class SchedulerError(SimulationError):
+    """The scheduler was used in an invalid state (e.g. re-entrant run)."""

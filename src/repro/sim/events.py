@@ -1,0 +1,52 @@
+"""Scheduled events.
+
+An :class:`Event` is a callable bound to a firing time.  Events sort by
+``(time, seq)`` where ``seq`` is a monotonically increasing tie-breaker:
+two events scheduled for the same instant fire in scheduling order, which
+keeps runs deterministic without comparing callbacks.
+"""
+
+import itertools
+
+_SEQ = itertools.count()
+
+
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by :meth:`repro.sim.scheduler.Simulator.schedule`
+    and friends; user code normally only keeps a reference in order to call
+    :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "canceled", "label")
+
+    def __init__(self, time, fn, args=(), kwargs=None, label=""):
+        self.time = time
+        self.seq = next(_SEQ)
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.canceled = False
+        self.label = label
+
+    def cancel(self):
+        """Mark the event so the scheduler skips it.
+
+        Cancelling is O(1); the event stays in the heap and is discarded
+        when popped.  Cancelling an already-fired or already-cancelled
+        event is a harmless no-op.
+        """
+        self.canceled = True
+
+    def fire(self):
+        """Invoke the callback (scheduler use only)."""
+        self.fn(*self.args, **self.kwargs)
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "canceled" if self.canceled else "pending"
+        name = self.label or getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} {name} [{state}]>"

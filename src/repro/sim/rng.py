@@ -1,0 +1,38 @@
+"""Named, reproducible random streams.
+
+Every stochastic component (channel backoff, promotion-delay draws, netem
+jitter, ...) asks the registry for a stream by name.  Stream seeds are
+derived from ``(master_seed, name)`` with a stable hash, so
+
+* adding a new component never perturbs the draws of existing ones, and
+* the same master seed always reproduces the same run.
+"""
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`random.Random` streams."""
+
+    def __init__(self, master_seed=0):
+        self.master_seed = master_seed
+        self._streams = {}
+
+    def stream(self, name):
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(self._derive_seed(name))
+        return self._streams[name]
+
+    def _derive_seed(self, name):
+        material = f"{self.master_seed}:{name}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def names(self):
+        """Names of all streams created so far (sorted for reproducibility)."""
+        return sorted(self._streams)
+
+    def __contains__(self, name):
+        return name in self._streams

@@ -1,0 +1,124 @@
+"""The event scheduler at the heart of the simulator."""
+
+import heapq
+
+from repro.sim.errors import SchedulerError, SimTimeError
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns
+
+    * the virtual clock (:attr:`now`, in seconds, starting at 0.0),
+    * the pending-event heap,
+    * a :class:`~repro.sim.rng.RngRegistry` so components can draw from
+      named, independently seeded random streams, and
+    * a :class:`~repro.sim.trace.TraceRecorder` for structured tracing.
+
+    Typical use::
+
+        sim = Simulator(seed=7)
+        sim.schedule(0.5, handler, arg)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, seed=0, trace=None):
+        self._now = 0.0
+        self._heap = []
+        self._running = False
+        self._stopped = False
+        self.events_fired = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay, fn, *args, label="", **kwargs):
+        """Schedule ``fn(*args, **kwargs)`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`~repro.sim.events.Event`, which can be cancelled.
+        ``delay`` must be non-negative; a zero delay fires after all events
+        already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimTimeError(f"negative delay {delay!r}")
+        return self.at(self._now + delay, fn, *args, label=label, **kwargs)
+
+    def at(self, time, fn, *args, label="", **kwargs):
+        """Schedule ``fn`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimTimeError(
+                f"cannot schedule at {time!r}; clock is already at {self._now!r}"
+            )
+        event = Event(time, fn, args, kwargs, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn, *args, label="", **kwargs):
+        """Schedule ``fn`` for the current instant (after pending same-time events)."""
+        return self.at(self._now, fn, *args, label=label, **kwargs)
+
+    def stop(self):
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def peek(self):
+        """Return the firing time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].canceled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self):
+        """Fire exactly one event.  Returns ``False`` when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.canceled:
+                continue
+            self._now = event.time
+            self.events_fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, until=None):
+        """Run events in time order.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` when
+        the heap drains early or when the next event lies beyond it (the
+        event is left pending).  Without ``until``, runs until the heap is
+        empty.  Returns the final clock value.
+        """
+        if self._running:
+            raise SchedulerError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def pending(self):
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.canceled)
+
+    def __repr__(self):
+        return (
+            f"<Simulator now={self._now:.6f} pending={self.pending()} "
+            f"fired={self.events_fired}>"
+        )

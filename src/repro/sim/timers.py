@@ -1,0 +1,113 @@
+"""Restartable and periodic timers.
+
+Device models in this code base are full of idle timeouts — the SDIO
+demotion watchdog, the adaptive-PSM timeout, TCP retransmission — all of
+which follow the same "arm, maybe restart, maybe cancel" pattern that
+:class:`Timer` captures.  :class:`PeriodicTimer` covers strictly periodic
+behaviour such as 802.11 beacon generation and the driver watchdog tick.
+"""
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and cancelled.
+
+    The callback fires once, ``interval`` seconds after the most recent
+    :meth:`start`/:meth:`restart`.  Restarting an armed timer moves the
+    deadline; cancelling disarms it.
+    """
+
+    def __init__(self, sim, callback, label=""):
+        self._sim = sim
+        self._callback = callback
+        self._event = None
+        self.label = label
+
+    @property
+    def armed(self):
+        """Whether the timer currently has a pending deadline."""
+        return self._event is not None and not self._event.canceled
+
+    @property
+    def deadline(self):
+        """Absolute firing time, or ``None`` when disarmed."""
+        return self._event.time if self.armed else None
+
+    def start(self, interval):
+        """Arm (or re-arm) the timer to fire ``interval`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(
+            interval, self._fire, label=self.label or "timer"
+        )
+
+    # ``restart`` reads better at call sites that always re-arm.
+    restart = start
+
+    def cancel(self):
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A strictly periodic timer.
+
+    Fires every ``period`` seconds from the moment :meth:`start` is called
+    (first firing after one full period, matching a hardware timer armed at
+    boot).  Deadlines are computed from the start epoch, not from firing
+    times, so callback latency cannot cause drift.
+    """
+
+    def __init__(self, sim, period, callback, label=""):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._event = None
+        self._epoch = None
+        self._ticks = 0
+        self.label = label
+
+    @property
+    def running(self):
+        """Whether the timer is currently generating ticks."""
+        return self._event is not None
+
+    @property
+    def ticks(self):
+        """Number of times the callback has fired since :meth:`start`."""
+        return self._ticks
+
+    def start(self, phase=0.0):
+        """Start ticking.  ``phase`` delays the first tick (0 <= phase < period)."""
+        self.stop()
+        self._epoch = self._sim.now + phase
+        self._ticks = 0
+        self._event = self._sim.schedule(
+            self.period + phase, self._fire, label=self.label or "periodic"
+        )
+
+    def stop(self):
+        """Stop ticking."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def next_deadline(self):
+        """Absolute time of the next tick, or ``None`` when stopped."""
+        return self._event.time if self._event is not None else None
+
+    def _fire(self):
+        self._ticks += 1
+        # Schedule the successor *before* the callback so the callback can
+        # stop() the timer and have that stick.
+        next_time = self._epoch + (self._ticks + 1) * self.period
+        self._event = self._sim.at(
+            next_time, self._fire, label=self.label or "periodic"
+        )
+        self._callback()

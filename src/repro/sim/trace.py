@@ -1,0 +1,79 @@
+"""Structured trace recording.
+
+Components emit trace records — ``(time, category, message, fields)`` —
+through the simulator's recorder.  Tests use traces to assert *why*
+something happened (e.g. "the bus demoted exactly once"), and the examples
+use them to narrate a measurement run.
+
+Recording is off by default so the hot path costs a single attribute check.
+"""
+
+from collections import Counter
+
+
+class TraceRecord:
+    """One trace entry."""
+
+    __slots__ = ("time", "category", "message", "fields")
+
+    def __init__(self, time, category, message, fields):
+        self.time = time
+        self.category = category
+        self.message = message
+        self.fields = fields
+
+    def __repr__(self):
+        extra = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time * 1e3:10.3f}ms] {self.category}: {self.message} {extra}".rstrip()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects, optionally filtered by category."""
+
+    def __init__(self, enabled=True, categories=None, limit=None):
+        self.enabled = enabled
+        self.categories = set(categories) if categories else None
+        self.limit = limit
+        self.records = []
+        self.dropped = 0
+
+    def record(self, time, category, message, **fields):
+        """Store one record (honouring the category filter and limit)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, category, message, fields))
+
+    def select(self, category=None, message=None):
+        """Return records matching a category and/or message substring."""
+        out = []
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if message is not None and message not in record.message:
+                continue
+            out.append(record)
+        return out
+
+    def count(self, category=None, message=None):
+        """Number of matching records."""
+        return len(self.select(category=category, message=message))
+
+    def summary(self):
+        """Counter of records per category."""
+        return Counter(record.category for record in self.records)
+
+    def clear(self):
+        """Drop all stored records."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self):
+        return len(self.records)

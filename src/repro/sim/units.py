@@ -1,0 +1,62 @@
+"""Unit helpers.
+
+Simulation time is a ``float`` number of **seconds**.  Protocol constants
+are far more readable when expressed in their native units, so the rest of
+the code base goes through these helpers instead of sprinkling ``1e-3``
+literals around.
+
+The IEEE 802.11 *Time Unit* (TU) is 1024 microseconds; beacon intervals are
+specified in TUs (the paper's access point uses 100 TU = 102.4 ms).
+"""
+
+#: One IEEE 802.11 Time Unit, in seconds (1024 us).
+TU = 1024e-6
+
+#: Bytes per kibibyte / mebibyte (used for payload sizing).
+KIBIBYTE = 1024
+MEBIBYTE = 1024 * 1024
+
+
+def ms(value):
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value):
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def tu(value):
+    """Convert IEEE 802.11 Time Units to seconds."""
+    return value * TU
+
+
+def seconds_to_ms(value):
+    """Convert seconds to milliseconds."""
+    return value * 1e3
+
+
+def seconds_to_us(value):
+    """Convert seconds to microseconds."""
+    return value * 1e6
+
+
+def mbps(value):
+    """Convert megabits/second to bits/second."""
+    return value * 1e6
+
+
+def kbps(value):
+    """Convert kilobits/second to bits/second."""
+    return value * 1e3
+
+
+def bytes_to_bits(nbytes):
+    """Convert a byte count to bits."""
+    return nbytes * 8
+
+
+def bits_to_bytes(nbits):
+    """Convert a bit count to (possibly fractional) bytes."""
+    return nbits / 8

@@ -1,0 +1,132 @@
+"""Network-level RTT extraction from sniffer captures.
+
+The actual nRTT ``dn = tin - ton`` is the gap between a probe's uplink
+data frame hitting the air and its response coming back down (paper
+Figure 1).  Two paths are provided:
+
+* :func:`network_rtts` works on in-memory
+  :class:`~repro.sniffer.sniffer.FrameRecord` lists (fast path used by
+  the benchmarks), and
+* :func:`network_rtts_from_pcap` parses a linktype-105 pcap file the way
+  the paper's authors post-processed their captures — byte-level 802.11
+  decoding included.
+"""
+
+from repro.net.packet import TCP_ACK, TcpSegment
+from repro.sniffer.pcap import LINKTYPE_IEEE802_11, PcapReader
+from repro.wifi.frames import decode_data_frame
+
+
+def _is_pure_ack(packet):
+    payload = packet.payload
+    return (
+        isinstance(payload, TcpSegment)
+        and payload.payload_size == 0
+        and payload.flags == TCP_ACK
+    )
+
+
+class PhyTransaction:
+    """On-air request/response times for one probe."""
+
+    __slots__ = ("probe_id", "ton", "tin")
+
+    def __init__(self, probe_id):
+        self.probe_id = probe_id
+        self.ton = None
+        self.tin = None
+
+    @property
+    def complete(self):
+        return self.ton is not None and self.tin is not None
+
+    @property
+    def rtt(self):
+        if not self.complete:
+            return None
+        return self.tin - self.ton
+
+    def __repr__(self):
+        return f"<PhyTransaction {self.probe_id} rtt={self.rtt}>"
+
+
+def network_rtts(records, station_mac):
+    """Pair probe transmissions by probe id.
+
+    ``records`` are sniffed frames (merged across sniffers);
+    ``station_mac`` identifies the phone, so direction is unambiguous.
+    Returns ``{probe_id: PhyTransaction}``.
+
+    For each probe the *first* uplink transmission is ``ton`` and the
+    first *substantive* downlink one is ``tin`` (a pure TCP ACK only
+    counts when no data/SYN|ACK response arrives, mirroring how the
+    tools themselves timestamp).
+    """
+    transactions = {}
+    downlink_is_ack = {}
+    for record in records:
+        if not record.is_data or record.status != "ok":
+            continue
+        probe_id = record.probe_id
+        if probe_id is None:
+            continue
+        frame = record.frame
+        txn = transactions.get(probe_id)
+        if txn is None:
+            txn = transactions[probe_id] = PhyTransaction(probe_id)
+        if frame.src_mac == station_mac:
+            if txn.ton is None:
+                txn.ton = record.time
+        elif frame.dst_mac == station_mac:
+            pure_ack = _is_pure_ack(frame.packet)
+            if txn.tin is None:
+                txn.tin = record.time
+                downlink_is_ack[probe_id] = pure_ack
+            elif downlink_is_ack.get(probe_id) and not pure_ack:
+                # Replace a bare ACK with the real (data) response.
+                txn.tin = record.time
+                downlink_is_ack[probe_id] = False
+    return transactions
+
+
+def network_rtts_from_pcap(path, station_mac):
+    """Like :func:`network_rtts`, but from an on-disk pcap capture."""
+    transactions = {}
+    downlink_is_ack = {}
+    with PcapReader(path) as reader:
+        if reader.linktype != LINKTYPE_IEEE802_11:
+            raise ValueError(
+                f"expected 802.11 capture (linktype 105), got {reader.linktype}"
+            )
+        for timestamp, data in reader:
+            decoded = decode_data_frame(data)
+            if decoded is None:
+                continue
+            info, packet = decoded
+            probe_id = packet.probe_id
+            if probe_id is None:
+                continue
+            txn = transactions.get(probe_id)
+            if txn is None:
+                txn = transactions[probe_id] = PhyTransaction(probe_id)
+            if info["src_mac"] == station_mac:
+                if txn.ton is None:
+                    txn.ton = timestamp
+            elif info["dst_mac"] == station_mac:
+                pure_ack = _is_pure_ack(packet)
+                if txn.tin is None:
+                    txn.tin = timestamp
+                    downlink_is_ack[probe_id] = pure_ack
+                elif downlink_is_ack.get(probe_id) and not pure_ack:
+                    txn.tin = timestamp
+                    downlink_is_ack[probe_id] = False
+    return transactions
+
+
+def completed_rtts(transactions):
+    """Extract ``{probe_id: rtt_seconds}`` for completed transactions."""
+    return {
+        probe_id: txn.rtt
+        for probe_id, txn in transactions.items()
+        if txn.complete
+    }

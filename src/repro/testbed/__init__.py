@@ -1,0 +1,22 @@
+"""The multiple-sniffer WiFi testbed of the paper's Figure 2.
+
+:class:`~repro.testbed.topology.Testbed` assembles the full environment:
+measurement server and load server behind a switch, the AP bridging to
+the WLAN, three wireless sniffers, an optional iPerf-style load
+generator, and instrumented phones.  :mod:`repro.testbed.experiments`
+provides the experiment runners the benchmarks are built on.
+"""
+
+from repro.testbed.experiments import (
+    acutemon_experiment,
+    ping_experiment,
+    tool_comparison,
+)
+from repro.testbed.topology import Testbed
+
+__all__ = [
+    "Testbed",
+    "acutemon_experiment",
+    "ping_experiment",
+    "tool_comparison",
+]

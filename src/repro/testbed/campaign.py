@@ -1,0 +1,152 @@
+"""Batch experiment campaigns.
+
+A *campaign* is a grid of experiment cells (phone x emulated RTT x tool
+x scenario) run deterministically and collected into a serialisable
+result set — the structure behind "we run the full Table 5 sweep
+nightly" workflows.  Results round-trip through JSON so separate
+processes (or machines) can split the grid and merge.
+"""
+
+import itertools
+import json
+
+from repro.analysis.stats import SummaryStats
+from repro.testbed.experiments import acutemon_experiment, tool_comparison
+
+
+class CellResult:
+    """The outcome of one campaign cell."""
+
+    __slots__ = ("phone", "rtt", "tool", "cross_traffic", "seed",
+                 "rtts", "layers")
+
+    def __init__(self, phone, rtt, tool, cross_traffic, seed, rtts,
+                 layers=None):
+        self.phone = phone
+        self.rtt = rtt
+        self.tool = tool
+        self.cross_traffic = cross_traffic
+        self.seed = seed
+        self.rtts = rtts
+        self.layers = layers or {}
+
+    def summary(self):
+        return SummaryStats(self.rtts)
+
+    def error(self):
+        """Median |measured - emulated| (seconds)."""
+        stats = self.summary()
+        return abs(stats.median - self.rtt)
+
+    def to_dict(self):
+        return {
+            "phone": self.phone, "rtt": self.rtt, "tool": self.tool,
+            "cross_traffic": self.cross_traffic, "seed": self.seed,
+            "rtts": self.rtts, "layers": self.layers,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["phone"], data["rtt"], data["tool"],
+                   data["cross_traffic"], data["seed"], data["rtts"],
+                   data.get("layers"))
+
+    def key(self):
+        return (self.phone, self.rtt, self.tool, self.cross_traffic)
+
+    def __repr__(self):
+        return (f"<CellResult {self.phone} {self.rtt * 1e3:.0f}ms "
+                f"{self.tool} n={len(self.rtts)}>")
+
+
+class Campaign:
+    """A deterministic grid of measurement cells."""
+
+    def __init__(self, phones=("nexus5",), rtts=(0.030,),
+                 tools=("acutemon",), cross_traffic=(False,),
+                 count=30, base_seed=0):
+        self.phones = tuple(phones)
+        self.rtts = tuple(rtts)
+        self.tools = tuple(tools)
+        self.cross_traffic = tuple(cross_traffic)
+        self.count = count
+        self.base_seed = base_seed
+        self.results = []
+
+    def cells(self):
+        """The full grid, in deterministic order, with per-cell seeds."""
+        grid = itertools.product(self.phones, self.rtts, self.tools,
+                                 self.cross_traffic)
+        for index, (phone, rtt, tool, cross) in enumerate(grid):
+            yield phone, rtt, tool, cross, self.base_seed + index * 7919
+
+    def run(self, progress=None):
+        """Execute every cell; returns the result list."""
+        self.results = []
+        for phone, rtt, tool, cross, seed in self.cells():
+            if progress is not None:
+                progress(phone, rtt, tool, cross)
+            if tool == "acutemon":
+                result = acutemon_experiment(
+                    phone, emulated_rtt=rtt, count=self.count, seed=seed,
+                    cross_traffic=cross)
+                rtts = result.user_rtts
+                layers = {name: values
+                          for name, values in result.layers.items()}
+            else:
+                comparison = tool_comparison(
+                    phone, emulated_rtt=rtt, count=self.count, seed=seed,
+                    cross_traffic=cross, tools=(tool,))
+                rtts = comparison[tool]
+                layers = {}
+            self.results.append(CellResult(phone, rtt, tool, cross, seed,
+                                           rtts, layers))
+        return self.results
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path):
+        payload = {
+            "count": self.count,
+            "base_seed": self.base_seed,
+            "results": [result.to_dict() for result in self.results],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path):
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        campaign = cls(count=payload["count"],
+                       base_seed=payload["base_seed"])
+        campaign.results = [CellResult.from_dict(item)
+                            for item in payload["results"]]
+        return campaign
+
+    def merged_with(self, other):
+        """Combine result sets (later cells win on key collision)."""
+        merged = Campaign(count=self.count, base_seed=self.base_seed)
+        by_key = {result.key(): result for result in self.results}
+        for result in other.results:
+            by_key[result.key()] = result
+        merged.results = list(by_key.values())
+        return merged
+
+    # -- queries ------------------------------------------------------------------
+
+    def result_for(self, phone, rtt, tool, cross_traffic=False):
+        for result in self.results:
+            if result.key() == (phone, rtt, tool, cross_traffic):
+                return result
+        return None
+
+    def worst_error(self):
+        """(CellResult, error) for the least accurate cell."""
+        if not self.results:
+            return None, None
+        worst = max(self.results, key=lambda result: result.error())
+        return worst, worst.error()
+
+    def __len__(self):
+        return len(self.results)

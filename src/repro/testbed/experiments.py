@@ -1,0 +1,141 @@
+"""Experiment runners.
+
+Each function builds a fresh deterministic testbed, runs one experiment
+cell, and returns the layered measurements — these are the building
+blocks of every table/figure benchmark and of the integration tests.
+"""
+
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.core.overhead import decompose
+from repro.tools.httping import HttpingTool
+from repro.tools.javaping import JavaPingTool
+from repro.tools.mobiperf import MobiPerfTool
+from repro.tools.ping import PingTool
+from repro.tools.ping2 import Ping2Tool
+from repro.testbed.topology import Testbed
+
+
+class ExperimentResult:
+    """Everything one experiment cell produced."""
+
+    def __init__(self, testbed, phone, collector, samples):
+        self.testbed = testbed
+        self.phone = phone
+        self.collector = collector
+        self.samples = samples
+        self.layers = collector.layered_rtts()
+        self.overheads = decompose(collector.completed())
+
+    @property
+    def user_rtts(self):
+        """RTTs as reported by the tool (seconds)."""
+        return [s.rtt for s in self.samples if s.rtt is not None]
+
+    def __repr__(self):
+        return f"<ExperimentResult probes={len(self.samples)}>"
+
+
+def _build(phone_key, emulated_rtt, seed, cross_traffic=False,
+           settle=1.0, **phone_kwargs):
+    testbed = Testbed(seed=seed, emulated_rtt=emulated_rtt)
+    phone = testbed.add_phone(phone_key, **phone_kwargs)
+    collector = ProbeCollector(phone)
+    if cross_traffic:
+        testbed.start_cross_traffic()
+    testbed.settle(settle)
+    return testbed, phone, collector
+
+
+def ping_experiment(phone_key="nexus5", emulated_rtt=30e-3, interval=1.0,
+                    count=100, seed=0, bus_sleep=True, cross_traffic=False,
+                    timeout=1.0):
+    """The §3.1 root-cause experiment: multi-layer ping measurement.
+
+    Returns an :class:`ExperimentResult` whose ``layers`` dict holds the
+    du/dk/dv/dn series of Table 2 and whose phone's driver ``samples``
+    hold the dvsend/dvrecv instrumentation of Table 3.
+    """
+    testbed, phone, collector = _build(
+        phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
+        bus_sleep=bus_sleep,
+    )
+    phone.driver.clear_samples()
+    tool = PingTool(phone, collector, testbed.server_ip, interval=interval,
+                    timeout=timeout)
+    samples = tool.run_sync(count)
+    return ExperimentResult(testbed, phone, collector, samples)
+
+
+def acutemon_experiment(phone_key="nexus5", emulated_rtt=30e-3, count=100,
+                        seed=0, config=None, cross_traffic=False,
+                        bus_sleep=True, **config_kwargs):
+    """One AcuteMon run (§4.2): warm-up + background + K probes."""
+    testbed, phone, collector = _build(
+        phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
+        bus_sleep=bus_sleep,
+    )
+    if config is None:
+        config = AcuteMonConfig(probe_count=count, **config_kwargs)
+    monitor = AcuteMon(phone, collector, testbed.server_ip, config=config)
+    done = []
+    monitor.start(on_complete=lambda results: done.append(results))
+    while not done:
+        if not testbed.sim.step():
+            raise RuntimeError("AcuteMon stalled: event heap empty")
+    result = ExperimentResult(testbed, phone, collector, monitor.results)
+    result.acutemon = monitor
+    return result
+
+
+TOOL_BUILDERS = {
+    "acutemon": None,  # handled by acutemon_experiment
+    "ping": lambda phone, coll, ip_addr, interval: PingTool(
+        phone, coll, ip_addr, interval=interval),
+    "httping": lambda phone, coll, ip_addr, interval: HttpingTool(
+        phone, coll, ip_addr, interval=interval),
+    "javaping": lambda phone, coll, ip_addr, interval: JavaPingTool(
+        phone, coll, ip_addr, interval=interval),
+    "mobiperf": lambda phone, coll, ip_addr, interval: MobiPerfTool(
+        phone, coll, ip_addr, interval=interval),
+}
+
+
+def tool_comparison(phone_key="nexus5", emulated_rtt=30e-3, count=100,
+                    seed=0, cross_traffic=False, interval=1.0,
+                    tools=("acutemon", "httping", "ping", "javaping")):
+    """The §4.3 comparison: RTT distributions per tool.
+
+    Each tool runs in its own fresh testbed (tools would otherwise keep
+    each other's phone awake).  Returns ``{tool_name: [rtt_seconds]}``.
+    """
+    results = {}
+    for index, tool_name in enumerate(tools):
+        tool_seed = seed + index * 1000
+        if tool_name == "acutemon":
+            result = acutemon_experiment(
+                phone_key, emulated_rtt, count=count, seed=tool_seed,
+                cross_traffic=cross_traffic,
+            )
+            results[tool_name] = result.user_rtts
+            continue
+        try:
+            builder = TOOL_BUILDERS[tool_name]
+        except KeyError:
+            raise ValueError(f"unknown tool {tool_name!r}; "
+                             f"known: {sorted(TOOL_BUILDERS)}") from None
+        testbed, phone, collector = _build(
+            phone_key, emulated_rtt, tool_seed, cross_traffic=cross_traffic)
+        tool = builder(phone, collector, testbed.server_ip, interval)
+        tool.run_sync(count)
+        results[tool_name] = tool.rtts()
+    return results
+
+
+def ping2_experiment(phone_key="nexus5", emulated_rtt=30e-3, count=100,
+                     seed=0, interval=1.0):
+    """Sui et al.'s server-side double ping against an idle phone."""
+    testbed, phone, _collector = _build(phone_key, emulated_rtt, seed)
+    tool = Ping2Tool(testbed.server_host, phone.ip_addr, interval=interval)
+    tool.run_sync(count)
+    return tool, testbed

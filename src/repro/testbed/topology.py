@@ -1,0 +1,201 @@
+"""Building the Figure 2 testbed.
+
+Topology (all within one collision domain, as in the paper)::
+
+    phone ~~~ WiFi ~~~ AP ---- switch ---- measurement server (netem RTT)
+    loadgen ~~ WiFi ~~/    \\--- load server (UDP sink)
+    sniffer A/B/C ~~ monitor mode on the WiFi channel
+
+The measurement server adds the emulated RTT on its egress, exactly like
+the paper's ``tc`` configuration ("introducing additional delays on the
+server side can be considered as controlling the length of the network
+path").
+"""
+
+from repro.net.addresses import MacAddress, ip
+from repro.net.arp import ArpTable
+from repro.net.host import Host
+from repro.net.iperf import UdpLoadGenerator, UdpSink
+from repro.net.link import Link
+from repro.net.netem import NetemQdisc
+from repro.net.servers import MeasurementServer
+from repro.net.switch import Switch
+from repro.phone.phone import Phone
+from repro.phone.profiles import PhoneProfile, phone_profile
+from repro.sim.scheduler import Simulator
+from repro.sniffer.merge import merge_records
+from repro.sniffer.sniffer import WirelessSniffer
+from repro.wifi.ap import AccessPoint
+from repro.wifi.channel import WifiChannel
+from repro.wifi.host import WifiHost
+
+# Address plan.
+WLAN_NET = "192.168.1.0/24"
+WIRED_NET = "10.0.0.0/24"
+AP_WLAN_IP = ip("192.168.1.1")
+AP_WIRED_IP = ip("10.0.0.1")
+SERVER_IP = ip("10.0.0.2")
+LOAD_SERVER_IP = ip("10.0.0.3")
+PHONE_IP = ip("192.168.1.2")
+LOADGEN_IP = ip("192.168.1.3")
+LOAD_PORT = 5001
+
+
+class Testbed:
+    """The assembled testbed.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; every random stream derives from it.
+    emulated_rtt:
+        Additional RTT injected at the measurement server (seconds).
+    sniffer_count / sniffer_loss:
+        Number of monitor-mode sniffers and their individual capture-loss
+        probability.  The paper uses three sniffers so that the merged
+        capture is effectively lossless.
+    beacon_interval_tu:
+        AP beacon interval in Time Units (default 100 TU = 102.4 ms).
+    """
+
+    # Not a test class, despite the name (silences pytest collection).
+    __test__ = False
+
+    #: ERP protection overhead used by the testbed AP (b/g mixed mode);
+    #: drops practical channel capacity under the 25 Mbps iPerf load so
+    #: cross-traffic congestion behaves like the paper's §4.3 WLAN.
+    PROTECTION_TIME = 120e-6
+
+    def __init__(self, seed=0, emulated_rtt=0.0, sniffer_count=3,
+                 sniffer_loss=0.0, beacon_interval_tu=100,
+                 send_time_exceeded=True, phy=None, rtt_jitter=0.0,
+                 path_loss=0.0):
+        from repro.wifi.phy import PhyParams
+
+        self.sim = Simulator(seed=seed)
+        self._rtt_jitter = rtt_jitter
+        self._path_loss = path_loss
+        if phy is None:
+            phy = PhyParams(protection_time=self.PROTECTION_TIME)
+        self.channel = WifiChannel(self.sim, phy=phy, name="wlan")
+        self.ap = AccessPoint(
+            self.sim, self.channel, MacAddress.from_index(1, oui=0x02AB00),
+            AP_WLAN_IP, WLAN_NET, beacon_interval_tu=beacon_interval_tu,
+            rng=self.sim.rng.stream("ap"),
+            send_time_exceeded=send_time_exceeded,
+        )
+        self.switch = Switch(self.sim)
+        self.wired_arp = ArpTable()
+
+        ap_link = Link(self.sim, name="ap-switch")
+        self.ap.add_wired_port("eth0", AP_WIRED_IP, WIRED_NET,
+                               self.wired_arp, link=ap_link)
+        self.switch.new_port(ap_link)
+
+        self.server_host = self._add_wired_host("server", SERVER_IP)
+        self.server = MeasurementServer(self.server_host)
+        self.netem = NetemQdisc(
+            self.sim, delay=emulated_rtt, jitter=rtt_jitter,
+            loss=path_loss, rng=self.sim.rng.stream("netem"),
+            name="server-egress",
+        )
+        self.server_host.netem = self.netem
+
+        self.load_server_host = self._add_wired_host("load-server",
+                                                     LOAD_SERVER_IP)
+        self.load_sink = UdpSink(self.load_server_host, LOAD_PORT)
+
+        self.sniffers = [
+            WirelessSniffer(
+                self.sim, self.channel, name=f"sniffer-{label}",
+                capture_loss=sniffer_loss,
+            )
+            for label in "ABC"[:sniffer_count]
+        ]
+
+        self.phones = []
+        self.load_generator = None
+        self._loadgen_host = None
+
+    # -- construction helpers -------------------------------------------------
+
+    def _add_wired_host(self, name, host_ip):
+        host = Host(
+            self.sim, name, host_ip,
+            MacAddress.from_index(int(host_ip) & 0xFFFF, oui=0x02CD00),
+            self.wired_arp, gateway=AP_WIRED_IP,
+            rng=self.sim.rng.stream(f"host:{name}"),
+        )
+        link = Link(self.sim, name=f"{name}-switch")
+        host.nic.attach_link(link)
+        self.switch.new_port(link)
+        return host
+
+    def add_phone(self, profile="nexus5", phone_ip=PHONE_IP, **phone_kwargs):
+        """Attach an instrumented phone to the WLAN.
+
+        ``profile`` is a profile key or a :class:`PhoneProfile`; extra
+        keyword arguments go to :class:`~repro.phone.phone.Phone` (e.g.
+        ``bus_sleep=False``, ``runtime='dalvik'``).
+        """
+        if not isinstance(profile, PhoneProfile):
+            profile = phone_profile(profile)
+        mac = MacAddress.from_index(0x100 + len(self.phones), oui=0x02EE00)
+        phone = Phone(
+            self.sim, profile, self.channel, self.ap, phone_ip, mac,
+            **phone_kwargs,
+        )
+        self.phones.append(phone)
+        return phone
+
+    def start_cross_traffic(self, flows=10, rate_bps=2.5e6):
+        """Congest the WLAN with the paper's iPerf workload.
+
+        10 flows x 2.5 Mbps of UDP from a wireless load generator toward
+        the wired load server (§4.3).
+        """
+        if self._loadgen_host is None:
+            self._loadgen_host = WifiHost(
+                self.sim, "loadgen", self.channel, self.ap, LOADGEN_IP,
+                MacAddress.from_index(0x200, oui=0x02EE00),
+                rng=self.sim.rng.stream("loadgen"),
+            )
+        self.load_generator = UdpLoadGenerator(
+            self.sim, self._loadgen_host.stack, LOAD_SERVER_IP, LOAD_PORT,
+            flows=flows, rate_bps=rate_bps,
+            rng=self.sim.rng.stream("loadgen-pacing"),
+        )
+        self.load_generator.start()
+        return self.load_generator
+
+    def stop_cross_traffic(self):
+        if self.load_generator is not None:
+            self.load_generator.stop()
+
+    # -- conveniences ----------------------------------------------------------
+
+    @property
+    def server_ip(self):
+        return self.server_host.ip_addr
+
+    def set_emulated_rtt(self, rtt):
+        """Re-point the server-side netem delay (tc qdisc change)."""
+        self.netem.delay = rtt
+
+    def merged_capture(self):
+        """The deduplicated multi-sniffer view of the channel."""
+        return merge_records(*self.sniffers)
+
+    def run(self, duration):
+        """Advance the simulation by ``duration`` seconds."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    def settle(self, duration=0.5):
+        """Let associations/beacons settle before measuring."""
+        return self.run(duration)
+
+    def __repr__(self):
+        return (
+            f"<Testbed t={self.sim.now:.3f}s phones={len(self.phones)} "
+            f"rtt={self.netem.delay * 1e3:.0f}ms>"
+        )

@@ -1,0 +1,59 @@
+"""MobiPerf's three RTT measurement methods (paper §4.3).
+
+1. ``ping``: invoke the platform ping binary and parse its output.  The
+   measurement itself is native; MobiPerf only wraps it.
+2. ``inetaddress``: the Java ``InetAddress`` reachability API — TCP
+   SYN -> RST against a closed port, timed in Dalvik.
+3. ``httpurl``: ``HttpURLConnection`` — a TCP connect (SYN -> SYN|ACK)
+   against the web port, timed in Dalvik.
+
+Methods 2 and 3 "are very similar, both of which utilize TCP control
+messages (SYN/RST vs. SYN/SYN ACK)".
+"""
+
+from repro.tools.javaping import JavaPingTool
+from repro.tools.ping import PingTool
+
+METHODS = ("ping", "inetaddress", "httpurl")
+
+
+class MobiPerfTool:
+    """Facade dispatching to the underlying prober for each method."""
+
+    def __init__(self, phone, collector, target_ip, method="inetaddress",
+                 interval=1.0, http_port=80, closed_port=7, name="mobiperf"):
+        if method not in METHODS:
+            raise ValueError(f"unknown MobiPerf method {method!r}; "
+                             f"known: {METHODS}")
+        self.method = method
+        self.name = f"{name}:{method}"
+        if method == "ping":
+            self._tool = PingTool(phone, collector, target_ip,
+                                  interval=interval, name=self.name)
+        elif method == "inetaddress":
+            self._tool = JavaPingTool(phone, collector, target_ip,
+                                      port=closed_port, interval=interval,
+                                      name=self.name)
+        else:  # httpurl: SYN/SYN|ACK against the open web port
+            self._tool = JavaPingTool(phone, collector, target_ip,
+                                      port=http_port, interval=interval,
+                                      name=self.name)
+
+    def start(self, count, on_complete=None):
+        self._tool.start(count, on_complete=on_complete)
+
+    def run_sync(self, count, deadline=None):
+        return self._tool.run_sync(count, deadline=deadline)
+
+    @property
+    def samples(self):
+        return self._tool.samples
+
+    def rtts(self):
+        return self._tool.rtts()
+
+    def loss_count(self):
+        return self._tool.loss_count()
+
+    def __repr__(self):
+        return f"<MobiPerfTool method={self.method}>"

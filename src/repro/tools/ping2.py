@@ -1,0 +1,130 @@
+"""``ping2``: server-side double ping (Sui et al., MobiSys 2016).
+
+The prior-art mitigation the paper positions against: the *server* pings
+the phone twice back to back; the first ping drags the phone out of its
+power-saving states, and the second ping — sent the moment the first
+reply returns — is reported as the RTT.
+
+Its documented weakness (paper §1): "when nRTT is long, the device could
+fall back to the inactive state again before it receives the response
+packet and starts the second ping" — the second ping then pays bus-wake
+(RTT > Tis) or even beacon buffering (RTT > Tip) all over again.  The
+ablation benchmark sweeps the emulated RTT to show exactly that
+crossover against AcuteMon.
+"""
+
+from repro.tools.base import RttSample
+
+
+class Ping2Tool:
+    """Measures phone RTT from the server with warm-up/probe ping pairs."""
+
+    def __init__(self, server_host, phone_ip, interval=1.0, timeout=1.0,
+                 name="ping2"):
+        self.host = server_host
+        self.sim = server_host.sim
+        self.phone_ip = phone_ip
+        self.interval = interval
+        self.timeout = timeout
+        self.name = name
+        self.samples = []
+        self.first_ping_rtts = []
+        self.running = False
+        self._on_complete = None
+        self._expected = 0
+        self._round = 0
+        self._handle = None
+        self._next_probe_id = 1
+        self._pending = {}  # probe_id -> (stage, t0, round_index)
+        self._timeout_event = None
+
+    def start(self, count, on_complete=None):
+        if self.running:
+            raise RuntimeError("ping2 already running")
+        self.running = True
+        self.samples = []
+        self.first_ping_rtts = []
+        self._expected = count
+        self._round = 0
+        self._on_complete = on_complete
+        self._handle = self.host.stack.register_ping(0x9922, self._on_reply)
+        self._start_round()
+
+    def run_sync(self, count, deadline=None):
+        done = []
+        self.start(count, on_complete=lambda samples: done.append(samples))
+        while not done:
+            if deadline is not None and self.sim.now > deadline:
+                raise RuntimeError("ping2 did not finish in time")
+            if not self.sim.step():
+                raise RuntimeError("ping2 stalled: event heap empty")
+        return self.samples
+
+    # -- rounds ------------------------------------------------------------
+
+    def _start_round(self):
+        if self._round >= self._expected:
+            self._finish()
+            return
+        self._round += 1
+        self._send_ping("warm")
+
+    def _send_ping(self, stage):
+        probe_id = self._next_probe_id
+        self._next_probe_id += 1
+        t0 = self.sim.now
+        self._pending[probe_id] = (stage, t0, self._round)
+        self.host.stack.send_echo_request(
+            self.phone_ip, 0x9922, probe_id & 0xFFFF,
+            meta={"probe_id": probe_id},
+        )
+        self._timeout_event = self.sim.schedule(
+            self.timeout, self._stage_timeout, probe_id,
+            label=f"{self.name}-timeout",
+        )
+
+    def _on_reply(self, packet):
+        probe_id = packet.probe_id
+        entry = self._pending.pop(probe_id, None)
+        if entry is None:
+            return
+        stage, t0, round_index = entry
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        rtt = self.sim.now - t0
+        if stage == "warm":
+            self.first_ping_rtts.append(rtt)
+            # Fire the measurement ping immediately — the whole point.
+            self._send_ping("probe")
+        else:
+            self.samples.append(RttSample(round_index, t0, rtt))
+            self._schedule_next_round()
+
+    def _stage_timeout(self, probe_id):
+        self._timeout_event = None
+        entry = self._pending.pop(probe_id, None)
+        if entry is None:
+            return
+        stage, t0, round_index = entry
+        if stage == "probe":
+            self.samples.append(RttSample(round_index, t0, None))
+        self._schedule_next_round()
+
+    def _schedule_next_round(self):
+        self.sim.schedule(self.interval, self._start_round,
+                          label=f"{self.name}-round")
+
+    def _finish(self):
+        self.running = False
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self._on_complete is not None:
+            self._on_complete(self.samples)
+
+    def rtts(self):
+        return [sample.rtt for sample in self.samples if not sample.lost]
+
+    def loss_count(self):
+        return sum(1 for sample in self.samples if sample.lost)

@@ -1,0 +1,136 @@
+"""Traceroute over the simulated network.
+
+Sends TTL-stepped UDP probes (classic Van Jacobson style, high UDP
+ports) and maps each hop from the ICMP time-exceeded responses, with the
+destination detected by its UDP echo / port-unreachable behaviour — here,
+by the echo response from the measurement server.
+
+On the phone this doubles as a *warm-up-aware* path prober: the TTL=1
+probes are exactly AcuteMon's background packets, so tracerouting the
+first hop is also how one validates that warm-up traffic really dies at
+the AP.
+"""
+
+from repro.net.packet import IcmpTimeExceeded
+from repro.tools.base import MeasurementTool
+
+BASE_PORT = 33434
+
+
+class HopResult:
+    """One hop's outcome."""
+
+    __slots__ = ("ttl", "address", "rtt")
+
+    def __init__(self, ttl, address, rtt):
+        self.ttl = ttl
+        self.address = address  # None when the hop timed out
+        self.rtt = rtt
+
+    @property
+    def timed_out(self):
+        return self.address is None
+
+    def __repr__(self):
+        if self.timed_out:
+            return f"<Hop {self.ttl}: *>"
+        return f"<Hop {self.ttl}: {self.address} {self.rtt * 1e3:.2f}ms>"
+
+
+class TracerouteTool(MeasurementTool):
+    """TTL-sweeping path discovery from the phone."""
+
+    runtime = "native"
+
+    def __init__(self, phone, collector, target_ip, max_ttl=8,
+                 probe_timeout=1.0, echo_port=7007, name="traceroute"):
+        super().__init__(phone, collector, target_ip, name=name)
+        self.max_ttl = max_ttl
+        self.probe_timeout = probe_timeout
+        self.echo_port = echo_port
+        self.hops = []
+        self._binding = None
+        self._src_port = None
+        self._current = None  # (ttl, probe_id, t0)
+        self._timeout_event = None
+        self._done = False
+
+    def _begin(self, count):
+        # ``count`` is ignored: a traceroute run is one TTL sweep.
+        self.hops = []
+        self._src_port = self.phone.stack.allocate_port()
+        self._binding = self.phone.stack.udp_bind(
+            self._src_port, self.phone.user_wrap(self._on_echo))
+        self.phone.stack.add_icmp_error_handler(self._on_icmp_error)
+        self._probe(ttl=1)
+
+    def _probe(self, ttl):
+        record = self.collector.new_probe(kind="probe")
+        meta = self.collector.meta_for(record)
+        t0 = self.phone.user_send(lambda: self.phone.stack.send_udp(
+            self.target_ip, self.echo_port, src_port=self._src_port,
+            payload_size=24, ttl=ttl, meta=meta))
+        self.collector.record_user_send(record.probe_id, t0)
+        self._current = (ttl, record.probe_id, t0)
+        self._timeout_event = self.sim.schedule(
+            self.probe_timeout, self._hop_timeout, ttl,
+            label=f"{self.name}-timeout")
+
+    def _on_icmp_error(self, packet):
+        if self._current is None or self._done:
+            return
+        payload = packet.payload
+        if not isinstance(payload, IcmpTimeExceeded):
+            return
+        if payload.original.probe_id != self._current[1]:
+            return
+        ttl, probe_id, t0 = self._current
+        self._finish_hop(HopResult(ttl, packet.src, self.sim.now - t0))
+
+    def _on_echo(self, packet):
+        if self._current is None or self._done:
+            return
+        if packet.probe_id != self._current[1]:
+            return
+        ttl, probe_id, t0 = self._current
+        self.collector.record_user_recv(probe_id, self.sim.now)
+        self.hops.append(HopResult(ttl, packet.src, self.sim.now - t0))
+        self._done = True
+        self._finish()
+
+    def _hop_timeout(self, ttl):
+        self._timeout_event = None
+        if self._current is None or self._current[0] != ttl:
+            return
+        self._finish_hop(HopResult(ttl, None, None))
+
+    def _finish_hop(self, hop):
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self.hops.append(hop)
+        self._current = None
+        if hop.ttl >= self.max_ttl:
+            self._finish()
+        else:
+            self._probe(hop.ttl + 1)
+
+    def _cleanup(self):
+        if self._binding is not None:
+            self._binding.close()
+            self._binding = None
+
+    @property
+    def reached_target(self):
+        return bool(self.hops) and self.hops[-1].address == self.target_ip
+
+    def render(self):
+        lines = [f"traceroute to {self.target_ip}, {self.max_ttl} hops max"]
+        for hop in self.hops:
+            if hop.timed_out:
+                lines.append(f"  {hop.ttl:2d}  *")
+            else:
+                lines.append(
+                    f"  {hop.ttl:2d}  {hop.address}  "
+                    f"{hop.rtt * 1e3:.2f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""A plain IP host on a WiFi station.
+
+Used for wireless devices that are *not* the instrumented phone — in the
+reproduced testbed, the iPerf load generator.  The IP stack sits directly
+on the station MAC with no driver/bus model in between.
+"""
+
+from repro.net.stack import IpStack
+from repro.wifi.sta import PsmConfig, Station
+
+
+class WifiHost:
+    """An end host whose NIC is an 802.11 station."""
+
+    def __init__(self, sim, name, channel, ap, ip_addr, mac, psm=None, rng=None):
+        self.sim = sim
+        self.name = name
+        self.ip_addr = ip_addr
+        self.sta = Station(
+            sim, channel, mac,
+            psm=psm if psm is not None else PsmConfig.disabled(),
+            rng=rng, name=f"{name}.sta",
+        )
+        self.stack = IpStack(sim, ip_addr, transmit=self._transmit,
+                             rng=rng, name=name)
+        self.sta.on_packet = self._on_packet
+        self.sta.associate(ap)
+        ap.register_station_ip(ip_addr, mac)
+
+    def _transmit(self, packet):
+        # Infrastructure mode: everything goes to the AP.
+        self.sta.send_packet(packet)
+
+    def _on_packet(self, packet):
+        if packet.dst == self.ip_addr:
+            self.stack.deliver(packet)
+
+    def __repr__(self):
+        return f"<WifiHost {self.name} {self.ip_addr}>"

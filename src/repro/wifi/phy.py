@@ -1,0 +1,78 @@
+"""802.11g PHY/MAC timing parameters and airtime arithmetic.
+
+The testbed AP (NETGEAR WNDR3800) ran 802.11g; these constants are the
+ERP-OFDM values.  Airtime math drives both the congestion behaviour under
+iPerf cross-traffic (paper §4.3 observes a ~10 Mbps UDP ceiling under
+contention) and the fine-grained delay each probe spends on the air.
+"""
+
+from repro.sim.units import bytes_to_bits, mbps
+
+
+class PhyParams:
+    """Timing parameters for one 802.11 PHY flavour (defaults: 802.11g)."""
+
+    def __init__(
+        self,
+        slot_time=9e-6,
+        sifs=10e-6,
+        preamble=20e-6,
+        signal_extension=6e-6,
+        cw_min=15,
+        cw_max=1023,
+        retry_limit=7,
+        data_rate_bps=mbps(54),
+        basic_rate_bps=mbps(24),
+        beacon_rate_bps=mbps(6),
+        ack_size=14,
+        protection_time=0.0,
+    ):
+        self.slot_time = slot_time
+        self.sifs = sifs
+        self.preamble = preamble
+        self.signal_extension = signal_extension
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.retry_limit = retry_limit
+        self.data_rate_bps = data_rate_bps
+        self.basic_rate_bps = basic_rate_bps
+        self.beacon_rate_bps = beacon_rate_bps
+        self.ack_size = ack_size
+        #: ERP protection (CTS-to-self at a DSSS rate + SIFS) prepended to
+        #: every data frame in b/g-compatibility mode.  Real 802.11g WLANs
+        #: run protected — it is why their practical UDP throughput sits
+        #: well below the 54 Mbps PHY rate (the paper cites < 20 Mbps and
+        #: measured ~10 Mbps under contention).
+        self.protection_time = protection_time
+
+    @property
+    def difs(self):
+        """DIFS = SIFS + 2 slots."""
+        return self.sifs + 2 * self.slot_time
+
+    def airtime(self, wire_size, rate_bps):
+        """Seconds one frame of ``wire_size`` bytes occupies the medium."""
+        return (
+            self.preamble
+            + bytes_to_bits(wire_size) / rate_bps
+            + self.signal_extension
+        )
+
+    def ack_time(self):
+        """Airtime of an ACK at the basic rate."""
+        return self.airtime(self.ack_size, self.basic_rate_bps)
+
+    def contention_window(self, retries):
+        """CW after ``retries`` failed attempts (binary exponential backoff)."""
+        cw = (self.cw_min + 1) * (2 ** retries) - 1
+        return min(cw, self.cw_max)
+
+    def data_exchange_time(self, wire_size, rate_bps):
+        """Busy time for one acked unicast: DATA + SIFS + ACK."""
+        return self.airtime(wire_size, rate_bps) + self.sifs + self.ack_time()
+
+    def __repr__(self):
+        return (
+            f"<PhyParams slot={self.slot_time * 1e6:.0f}us "
+            f"rate={self.data_rate_bps / 1e6:.0f}Mbps>"
+        )

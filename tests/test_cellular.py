@@ -1,0 +1,223 @@
+"""Tests for the cellular RRC extension (paper §4's stated extension)."""
+
+import statistics
+
+import pytest
+
+from repro.cellular.rrc import RrcConfig, RrcMachine, RrcState
+from repro.cellular.testbed import CellularTestbed
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.core.warmup import WarmupPolicy
+from repro.sim.scheduler import Simulator
+from repro.tools.ping import PingTool
+
+
+class TestRrcMachine:
+    def _machine(self, seed=1, **config_kwargs):
+        sim = Simulator(seed=seed)
+        machine = RrcMachine(sim, config=RrcConfig(**config_kwargs))
+        return sim, machine
+
+    def test_starts_idle(self):
+        _sim, machine = self._machine()
+        assert machine.state == RrcState.IDLE
+
+    def test_promotion_from_idle_takes_seconds(self):
+        sim, machine = self._machine()
+        granted = []
+        machine.request_channel(100, lambda: granted.append(sim.now))
+        sim.run(until=5.0)
+        assert machine.state == RrcState.DCH
+        assert 1.6 <= granted[0] <= 2.6  # promo_idle_dch range
+
+    def test_dch_grants_immediately(self):
+        sim, machine = self._machine()
+        machine.request_channel(100, lambda: None)
+        sim.run(until=3.0)
+        granted = []
+        machine.request_channel(100, lambda: granted.append(sim.now))
+        assert granted == [sim.now]
+
+    def test_t1_demotes_to_fach_then_t2_to_idle(self):
+        sim, machine = self._machine(t1=5.0, t2=12.0)
+        machine.request_channel(100, lambda: None)
+        sim.run(until=3.0)
+        assert machine.state == RrcState.DCH
+        sim.run(until=3.0 + 5.5)
+        assert machine.state == RrcState.FACH
+        sim.run(until=3.0 + 5.5 + 12.5)
+        assert machine.state == RrcState.IDLE
+        assert machine.demotions == 2
+
+    def test_activity_resets_tail_timer(self):
+        sim, machine = self._machine(t1=5.0)
+        machine.request_channel(100, lambda: None)
+        sim.run(until=3.0)
+        for index in range(5):
+            sim.schedule(index * 3.0, machine.touch)
+        sim.run(until=17.0)
+        assert machine.state == RrcState.DCH
+
+    def test_small_transfer_allowed_in_fach(self):
+        sim, machine = self._machine(t1=1.0, fach_threshold=400)
+        machine.request_channel(100, lambda: None)
+        sim.run(until=4.0)
+        assert machine.state == RrcState.FACH
+        granted = []
+        machine.request_channel(100, lambda: granted.append(machine.state))
+        assert granted == [RrcState.FACH]  # no promotion needed
+
+    def test_large_transfer_in_fach_promotes(self):
+        sim, machine = self._machine(t1=1.0, fach_threshold=400)
+        machine.request_channel(100, lambda: None)
+        sim.run(until=4.0)
+        assert machine.state == RrcState.FACH
+        granted = []
+        machine.request_channel(1200, lambda: granted.append(machine.state))
+        sim.run(until=8.0)
+        assert granted == [RrcState.DCH]
+
+    def test_fach_latency_higher_than_dch(self):
+        sim, machine = self._machine()
+        machine._set_state(RrcState.DCH, "test")
+        dch = statistics.mean(machine.latency() for _ in range(200))
+        machine._set_state(RrcState.FACH, "test")
+        fach = statistics.mean(machine.latency() for _ in range(200))
+        assert fach > 3 * dch
+
+    def test_concurrent_requests_share_one_promotion(self):
+        sim, machine = self._machine()
+        granted = []
+        machine.request_channel(100, lambda: granted.append("a"))
+        machine.request_channel(100, lambda: granted.append("b"))
+        sim.run(until=5.0)
+        assert granted == ["a", "b"]
+        assert machine.promotions == 1
+
+    def test_state_transitions_recorded(self):
+        sim, machine = self._machine(t1=1.0)
+        machine.request_channel(100, lambda: None)
+        sim.run(until=4.5)
+        kinds = [(old, new) for _t, old, new, _r in machine.state_transitions]
+        assert (RrcState.IDLE, RrcState.DCH) in kinds
+        assert (RrcState.DCH, RrcState.FACH) in kinds
+
+
+class TestCellularPath:
+    def test_ping_round_trip(self):
+        testbed = CellularTestbed(seed=3, emulated_rtt=0.05)
+        phone = testbed.phone
+        replies = []
+        phone.stack.register_ping(1, lambda p: replies.append(testbed.sim.now))
+        phone.stack.send_echo_request(testbed.server_ip, 1, 1)
+        testbed.run(10.0)
+        assert len(replies) == 1
+
+    def test_first_packet_pays_promotion(self):
+        testbed = CellularTestbed(seed=3, emulated_rtt=0.05)
+        phone = testbed.phone
+        collector = ProbeCollector(phone)
+        tool = PingTool(phone, collector, testbed.server_ip, interval=0.5,
+                        timeout=5.0)
+        samples = tool.run_sync(5)
+        by_send_order = sorted(samples, key=lambda s: s.sent_at)
+        # The first-sent probe triggers (and waits out) the IDLE->DCH
+        # promotion; probes sent during the promotion inflate less, and
+        # probes sent after it ride a clean DCH.
+        assert by_send_order[0].rtt > 1.5
+        assert by_send_order[-1].rtt < 0.3
+
+    def test_sparse_probing_pays_promotion_every_time(self):
+        config = RrcConfig(t1=5.0, t2=12.0)
+        testbed = CellularTestbed(seed=4, emulated_rtt=0.05,
+                                  rrc_config=config)
+        phone = testbed.phone
+        collector = ProbeCollector(phone)
+        # 20 s between probes > t1 + t2: the phone is IDLE for every one.
+        tool = PingTool(phone, collector, testbed.server_ip, interval=20.0,
+                        timeout=8.0)
+        tool.run_sync(4)
+        assert all(r > 1.5 for r in tool.rtts())
+        assert testbed.rrc.promotions >= 4
+
+    def test_downlink_to_idle_phone_pays_paging(self):
+        testbed = CellularTestbed(seed=5, emulated_rtt=0.0)
+        phone = testbed.phone
+        got = []
+        phone.stack.udp_bind(4444, lambda p: got.append(testbed.sim.now))
+        testbed.run(1.0)  # phone is IDLE (never transmitted)
+        t0 = testbed.sim.now
+        testbed.server_host.stack.send_udp(phone.ip_addr, 4444,
+                                           payload_size=16)
+        testbed.run(6.0)
+        assert got and got[0] - t0 > 1.5  # paging + promotion
+        assert testbed.tower.packets_paged == 1
+
+    def test_ttl1_warmups_die_at_tower(self):
+        testbed = CellularTestbed(seed=6)
+        phone = testbed.phone
+        errors = []
+        phone.stack.add_icmp_error_handler(errors.append)
+        phone.stack.send_udp(testbed.server_ip, 33434, payload_size=8, ttl=1)
+        testbed.run(6.0)
+        assert testbed.tower.router.packets_expired == 1
+        assert len(errors) == 1
+
+
+class TestAcuteMonOnCellular:
+    def test_warmup_policy_maps_to_rrc_timers(self):
+        config = RrcConfig()
+        policy = WarmupPolicy(
+            t_prom=config.promo_idle_dch.high,
+            t_is=config.t1, t_ip=config.t1,
+        )
+        plan = policy.recommend()
+        assert plan.valid
+        assert plan.dpre > config.promo_idle_dch.high
+        assert plan.db < config.t1
+
+    def test_acutemon_punctures_rrc_inflation(self):
+        config = RrcConfig(t1=5.0, t2=12.0)
+        testbed = CellularTestbed(seed=7, emulated_rtt=0.05,
+                                  rrc_config=config)
+        phone = testbed.phone
+        collector = ProbeCollector(phone)
+        # Cellular plan: dpre > promotion (~2.6 s), db < t1.
+        acute_config = AcuteMonConfig(dpre=3.0, db=2.0, probe_count=10,
+                                      probe_gap=4.0, probe_timeout=8.0)
+        monitor = AcuteMon(phone, collector, testbed.server_ip,
+                           config=acute_config)
+        done = []
+        monitor.start(on_complete=lambda r: done.append(r))
+        while not done:
+            assert testbed.sim.step()
+        rtts = monitor.rtts()
+        assert len(rtts) == 10
+        # Probes 4 s apart would each pay FACH/DCH transitions without the
+        # background traffic; with it, every RTT is a clean DCH RTT.
+        assert all(r < 0.3 for r in rtts)
+        assert statistics.median(rtts) < 0.2
+
+    def test_without_background_sparse_probes_inflate(self):
+        config = RrcConfig(t1=2.0, t2=6.0)
+        testbed = CellularTestbed(seed=8, emulated_rtt=0.05,
+                                  rrc_config=config)
+        phone = testbed.phone
+        collector = ProbeCollector(phone)
+        acute_config = AcuteMonConfig(
+            dpre=3.0, db=2.0, probe_count=6, probe_gap=4.0,
+            probe_timeout=8.0, warmup_enabled=False,
+            background_enabled=False,
+        )
+        monitor = AcuteMon(phone, collector, testbed.server_ip,
+                           config=acute_config)
+        done = []
+        monitor.start(on_complete=lambda r: done.append(r))
+        while not done:
+            assert testbed.sim.step()
+        # Probe gap (4 s) > t1 (2 s): probes after the first keep finding
+        # the radio demoted to FACH (RTT dominated by the shared-channel
+        # latency, several times a clean DCH RTT).
+        inflated = [r for r in monitor.rtts() if r > 0.3]
+        assert len(inflated) >= 3

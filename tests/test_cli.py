@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--seed", "7", "--count", "5",
+                                          "phones"])
+        assert args.seed == 7 and args.count == 5
+
+    def test_compare_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--phone", "nexus4", "--rtt", "60",
+             "--cross-traffic"])
+        assert args.phone == "nexus4"
+        assert args.rtt == 60.0
+        assert args.cross_traffic
+
+    def test_unknown_phone_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--phone", "pixel"])
+
+
+class TestCommands:
+    def test_phones_lists_all_profiles(self, capsys):
+        assert main(["phones"]) == 0
+        out = capsys.readouterr().out
+        for key in ("nexus5", "nexus4", "htc_one", "xperia_j",
+                    "galaxy_grand"):
+            assert key in out
+        assert "BCM4339" in out
+
+    def test_table3_runs_small(self, capsys):
+        assert main(["--count", "5", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "dvsend" in out and "dvrecv" in out
+        assert "Enabled" in out and "Disabled" in out
+
+    def test_overheads_runs_small(self, capsys):
+        assert main(["--count", "5", "overheads", "--phone", "nexus4"]) == 0
+        out = capsys.readouterr().out
+        assert "du_k" in out and "dk_n" in out
+
+    def test_compare_runs_small(self, capsys):
+        assert main(["--count", "5", "compare"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("acutemon", "ping", "httping", "javaping"):
+            assert tool in out

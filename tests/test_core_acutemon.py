@@ -1,0 +1,172 @@
+"""Tests for AcuteMon itself (§4.1-§4.2)."""
+
+import pytest
+
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.testbed.topology import Testbed
+
+
+def build(seed=31, rtt=0.03, phone_key="nexus5", **phone_kwargs):
+    testbed = Testbed(seed=seed, emulated_rtt=rtt)
+    phone = testbed.add_phone(phone_key, **phone_kwargs)
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    return testbed, phone, collector
+
+
+def run_acutemon(testbed, phone, collector, **config_kwargs):
+    config = AcuteMonConfig(**config_kwargs)
+    monitor = AcuteMon(phone, collector, testbed.server_ip, config=config)
+    done = []
+    monitor.start(on_complete=lambda r: done.append(r))
+    while not done:
+        assert testbed.sim.step(), "AcuteMon stalled"
+    return monitor
+
+
+class TestConfig:
+    def test_method_validated(self):
+        with pytest.raises(ValueError):
+            AcuteMonConfig(probe_method="quic")
+
+    def test_positive_parameters_required(self):
+        with pytest.raises(ValueError):
+            AcuteMonConfig(probe_count=0)
+        with pytest.raises(ValueError):
+            AcuteMonConfig(dpre=0)
+
+    def test_defaults_match_paper(self):
+        config = AcuteMonConfig()
+        assert config.dpre == pytest.approx(0.020)
+        assert config.db == pytest.approx(0.020)
+        assert config.probe_count == 100
+        assert config.warmup_ttl == 1
+
+
+class TestMeasurementPhase:
+    def test_collects_k_probes(self):
+        testbed, phone, collector = build()
+        monitor = run_acutemon(testbed, phone, collector, probe_count=20)
+        assert len(monitor.results) == 20
+        assert monitor.loss_count() == 0
+
+    def test_rtts_close_to_emulated(self):
+        testbed, phone, collector = build(rtt=0.05)
+        monitor = run_acutemon(testbed, phone, collector, probe_count=20)
+        for rtt in monitor.rtts():
+            assert 0.050 < rtt < 0.058
+
+    @pytest.mark.parametrize("method", ["tcp_syn", "http", "icmp", "udp"])
+    def test_all_probe_methods_work(self, method):
+        testbed, phone, collector = build()
+        monitor = run_acutemon(testbed, phone, collector, probe_count=10,
+                               probe_method=method)
+        assert len(monitor.rtts()) == 10
+        for rtt in monitor.rtts():
+            assert 0.029 < rtt < 0.040
+
+    def test_overheads_small_and_rtt_independent(self):
+        # The paper's headline: median overhead < 3 ms at any nRTT.
+        medians = []
+        for rtt in (0.020, 0.135):
+            testbed, phone, collector = build(rtt=rtt, seed=77)
+            run_acutemon(testbed, phone, collector, probe_count=30)
+            from repro.core.overhead import decompose
+
+            overheads = decompose(collector.completed())
+            medians.append(overheads.box("total").median)
+        assert all(m < 0.003 for m in medians)
+        assert abs(medians[0] - medians[1]) < 0.002
+
+    def test_enforces_native_runtime(self):
+        testbed, phone, collector = build()
+        phone.runtime = "dalvik"
+        run_acutemon(testbed, phone, collector, probe_count=5)
+        assert phone.runtime == "native"
+
+
+class TestBackgroundThread:
+    def test_warmup_and_background_sent(self):
+        testbed, phone, collector = build()
+        monitor = run_acutemon(testbed, phone, collector, probe_count=20)
+        assert monitor.warmups_sent == 1
+        assert monitor.background_sent > 0
+        assert len(collector.records("background")) == monitor.background_sent
+
+    def test_background_stops_after_measurement(self):
+        testbed, phone, collector = build()
+        monitor = run_acutemon(testbed, phone, collector, probe_count=5)
+        sent = monitor.background_sent
+        testbed.run(1.0)
+        assert monitor.background_sent == sent
+
+    def test_background_packets_die_at_first_hop(self):
+        testbed, phone, collector = build()
+        expired_before = testbed.ap.router.packets_expired
+        server_drops_before = testbed.server_host.stack.packets_dropped
+        monitor = run_acutemon(testbed, phone, collector, probe_count=10)
+        total_bg = monitor.warmups_sent + monitor.background_sent
+        assert testbed.ap.router.packets_expired - expired_before == total_bg
+        # Nothing background-ish reached the server.
+        assert testbed.server_host.stack.packets_dropped == server_drops_before
+
+    def test_phone_stays_awake_during_measurement(self):
+        testbed, phone, collector = build(phone_key="nexus4")  # Tip 40 ms
+        run_acutemon(testbed, phone, collector, probe_count=30,
+                     probe_gap=0.05)
+        # No doze transition while AcuteMon was probing.
+        doze_times = [t for t, _o, new, _r in phone.sta.state_transitions
+                      if new == "DOZE" and t > 0.5]
+        assert doze_times == []
+
+    def test_bus_never_sleeps_during_measurement(self):
+        testbed, phone, collector = build()
+        sleeps_before = phone.driver.bus.sleep_count
+        run_acutemon(testbed, phone, collector, probe_count=30,
+                     probe_gap=0.03)
+        assert phone.driver.bus.sleep_count == sleeps_before
+
+    def test_background_disabled_lets_phone_demote(self):
+        testbed, phone, collector = build(phone_key="nexus4")
+        sleeps_before = phone.driver.bus.sleep_count
+        run_acutemon(testbed, phone, collector, probe_count=10,
+                     probe_gap=0.2, background_enabled=False,
+                     warmup_enabled=False)
+        # With probes 200 ms apart and no background traffic, the WCN bus
+        # (Tis = 25 ms) demotes repeatedly.
+        assert phone.driver.bus.sleep_count > sleeps_before
+
+    def test_icmp_errors_ignored(self):
+        # AcuteMon must not crash or mis-count on time-exceeded responses.
+        testbed, phone, collector = build()
+        errors = []
+        phone.stack.add_icmp_error_handler(errors.append)
+        monitor = run_acutemon(testbed, phone, collector, probe_count=10)
+        assert len(errors) >= monitor.warmups_sent  # errors did arrive
+        assert len(monitor.rtts()) == 10  # ...and changed nothing
+
+
+class TestRobustness:
+    def test_cannot_start_twice(self):
+        testbed, phone, collector = build()
+        config = AcuteMonConfig(probe_count=5)
+        monitor = AcuteMon(phone, collector, testbed.server_ip, config=config)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
+
+    def test_probe_timeout_counted_as_loss(self):
+        testbed, phone, collector = build()
+        # Measure against an address that is routed but never answers.
+        from repro.net.addresses import ip
+
+        config = AcuteMonConfig(probe_count=3, probe_timeout=0.2,
+                                probe_method="udp")
+        monitor = AcuteMon(phone, collector, ip("10.0.0.99"), config=config)
+        done = []
+        monitor.start(on_complete=lambda r: done.append(r))
+        while not done:
+            assert testbed.sim.step()
+        assert monitor.loss_count() == 3
+        assert monitor.rtts() == []

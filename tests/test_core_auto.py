@@ -1,0 +1,90 @@
+"""Tests for the automatic calibrate-plan-measure-correct pipeline."""
+
+import statistics
+
+import pytest
+
+from repro.core.auto import AutoAcuteMon
+from repro.core.measurement import ProbeCollector
+from repro.testbed.topology import Testbed
+
+
+def build(phone_key="nexus5", seed=81, rtt=0.0, **testbed_kwargs):
+    testbed = Testbed(seed=seed, emulated_rtt=rtt, **testbed_kwargs)
+    phone = testbed.add_phone(phone_key)
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    return testbed, phone, collector
+
+
+class TestAutoPipeline:
+    def test_calibrate_produces_valid_plan(self):
+        testbed, phone, collector = build()
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        plan = auto.calibrate()
+        assert plan.valid
+        # The derived plan respects the phone's real timers.
+        assert plan.dpre > phone.driver.chipset.wake_delay.low
+        assert plan.db < phone.profile.sdio_idle_window + 0.05
+
+    def test_measure_unknown_phone_end_to_end(self):
+        # The pipeline never reads the profile: it measures what it needs.
+        # Calibration runs against the near path; the target is then 60 ms.
+        testbed, phone, collector = build("galaxy_grand", seed=82)
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        auto.calibrate()
+        testbed.set_emulated_rtt(0.060)
+        result = auto.measure(probe_count=30)
+        assert len(result.raw_rtts) == 30
+        raw_median = statistics.median(result.raw_rtts)
+        corrected_median = statistics.median(result.corrected_rtts)
+        assert abs(raw_median - 0.060) < 0.008
+        # Correction brings the estimate closer to the truth.
+        assert abs(corrected_median - 0.060) < abs(raw_median - 0.060)
+        assert abs(corrected_median - 0.060) < 1.5e-3
+
+    def test_measure_without_calibrate_calibrates_first(self):
+        testbed, phone, collector = build(seed=83, rtt=0.030)
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        result = auto.measure(probe_count=10)
+        assert auto.plan is not None and auto.plan.valid
+        assert len(result.raw_rtts) == 10
+
+    def test_far_reference_rejected(self):
+        # Timer training against a 90 ms path must refuse loudly rather
+        # than learn garbage (the ping2 failure mode).
+        testbed, phone, collector = build(seed=87, rtt=0.090)
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        with pytest.raises(RuntimeError, match="too long"):
+            auto.calibrate()
+
+    def test_overhead_transfers_across_paths(self):
+        # Calibrate + train on one path, then re-measure another.
+        testbed, phone, collector = build(seed=84, rtt=0.020)
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        auto.measure(probe_count=30)
+        testbed.set_emulated_rtt(0.110)
+        second = auto.measure(probe_count=30, train_overhead=False)
+        corrected_median = statistics.median(second.corrected_rtts)
+        assert abs(corrected_median - 0.110) < 1.5e-3
+
+
+class TestTestbedPathKnobs:
+    def test_rtt_jitter_spreads_measurements(self):
+        from repro.testbed.experiments import acutemon_experiment
+
+        testbed, phone, collector = build(seed=85, rtt=0.030,
+                                          rtt_jitter=0.005)
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        result = auto.measure(probe_count=30)
+        spread = max(result.raw_rtts) - min(result.raw_rtts)
+        assert spread > 0.004  # jitter dominates the usual ~1 ms spread
+
+    def test_path_loss_costs_probes_or_retransmits(self):
+        testbed, phone, collector = build(seed=86, rtt=0.030,
+                                          path_loss=0.2)
+        auto = AutoAcuteMon(phone, collector, testbed.server_ip)
+        result = auto.measure(probe_count=15, probe_method="icmp",
+                              probe_timeout=0.3)
+        # ICMP probes have no retransmission: ~20% simply vanish.
+        assert len(result.raw_rtts) < 15

@@ -1,0 +1,176 @@
+"""Tests for the probe ledger and overhead decomposition (§2.1)."""
+
+import pytest
+
+from repro.core.measurement import ProbeCollector, ProbeRecord
+from repro.core.overhead import OVERHEAD_NAMES, OverheadSet, decompose
+from repro.testbed.topology import Testbed
+
+
+@pytest.fixture
+def bed():
+    testbed = Testbed(seed=21, emulated_rtt=0.03)
+    phone = testbed.add_phone("nexus5")
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    return testbed, phone, collector
+
+
+def run_icmp_probe(testbed, phone, collector, wait=1.0):
+    """One fully instrumented ICMP probe; returns its record."""
+    sim = testbed.sim
+    record = collector.new_probe()
+    done = []
+
+    def on_reply(packet):
+        collector.record_user_recv(record.probe_id, sim.now)
+        done.append(packet)
+
+    handle = phone.stack.register_ping(
+        0x700 + record.probe_id, phone.user_wrap(on_reply))
+    t0 = phone.user_send(lambda: phone.stack.send_echo_request(
+        testbed.server_ip, 0x700 + record.probe_id, 1,
+        meta=collector.meta_for(record)))
+    collector.record_user_send(record.probe_id, t0)
+    testbed.run(wait)
+    handle.close()
+    return record
+
+
+class TestProbeRecord:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            ProbeRecord(1, kind="junk")
+
+    def test_incomplete_record_returns_none(self):
+        record = ProbeRecord(1)
+        assert record.du is None and record.dk is None
+        assert record.dn is None and record.dv is None
+        assert not record.complete
+
+
+class TestCollectorLedger:
+    def test_full_ledger_for_one_probe(self, bed):
+        testbed, phone, collector = bed
+        record = run_icmp_probe(testbed, phone, collector)
+        assert record.complete
+        assert record.request is not None and record.response is not None
+        # The paper's layering invariant: du >= dk >= dv >= dn.
+        assert record.du >= record.dk >= record.dv >= record.dn > 0
+
+    def test_dn_close_to_emulated_rtt(self, bed):
+        testbed, phone, collector = bed
+        record = run_icmp_probe(testbed, phone, collector)
+        assert record.dn == pytest.approx(0.03, abs=0.005)
+
+    def test_driver_path_delays_exposed(self, bed):
+        testbed, phone, collector = bed
+        record = run_icmp_probe(testbed, phone, collector)
+        assert record.dvsend is not None and record.dvsend > 0
+        assert record.dvrecv is not None and record.dvrecv > 0
+        assert record.dvrecv < record.dv
+
+    def test_probe_ids_monotonic(self, bed):
+        _testbed, _phone, collector = bed
+        records = [collector.new_probe() for _ in range(5)]
+        ids = [r.probe_id for r in records]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_meta_for_includes_kind(self, bed):
+        _testbed, _phone, collector = bed
+        record = collector.new_probe(kind="warmup")
+        meta = collector.meta_for(record)
+        assert meta == {"probe_id": record.probe_id, "probe_kind": "warmup"}
+
+    def test_records_filtered_by_kind(self, bed):
+        _testbed, _phone, collector = bed
+        collector.new_probe(kind="probe")
+        collector.new_probe(kind="warmup")
+        collector.new_probe(kind="background")
+        assert len(collector.records("probe")) == 1
+        assert len(collector.records("warmup")) == 1
+        assert len(collector.records("background")) == 1
+
+    def test_layered_rtts_structure(self, bed):
+        testbed, phone, collector = bed
+        run_icmp_probe(testbed, phone, collector)
+        layers = collector.layered_rtts()
+        assert set(layers) == {"du", "dk", "dv", "dn"}
+        assert all(len(v) == 1 for v in layers.values())
+
+    def test_timeout_counted_as_loss(self, bed):
+        _testbed, _phone, collector = bed
+        record = collector.new_probe()
+        collector.record_timeout(record.probe_id)
+        assert collector.loss_count() == 1
+
+    def test_untagged_packets_ignored(self, bed):
+        testbed, phone, collector = bed
+        phone.stack.register_ping(0x9, lambda p: None)
+        phone.stack.send_echo_request(testbed.server_ip, 0x9, 1)  # no meta
+        testbed.run(0.5)
+        assert collector.records() == []
+
+
+class TestTcpResponsePreference:
+    def test_syn_ack_preferred_over_pure_ack(self, bed):
+        testbed, phone, collector = bed
+        sim = testbed.sim
+        record = collector.new_probe()
+        meta = collector.meta_for(record)
+        done = []
+        conn = phone.stack.tcp.connect(testbed.server_ip, 80, meta=meta)
+        conn.on_connected = lambda c: done.append(sim.now)
+        t0 = sim.now
+        collector.record_user_send(record.probe_id, t0)
+        testbed.run(1.0)
+        collector.record_user_recv(record.probe_id, done[0])
+        # The response on file must be the SYN|ACK, not our outgoing ACK.
+        from repro.net.packet import TCP_SYN
+
+        assert record.response.payload.has(TCP_SYN)
+        assert record.request.payload.has(TCP_SYN)
+        assert not record.request.payload.has(0x10)  # pure SYN out
+
+    def test_http_data_replaces_server_ack(self, bed):
+        testbed, phone, collector = bed
+        sim = testbed.sim
+        conn = phone.stack.tcp.connect(testbed.server_ip, 80)
+        testbed.run(0.5)
+        record = collector.new_probe()
+        got = []
+        conn.on_data = lambda c, n, m: got.append(n)
+        conn.send(120, meta=collector.meta_for(record))
+        testbed.run(0.5)
+        assert got == [230]
+        # Server ACKed our request first, then sent data: data must win.
+        assert record.response.payload.payload_size > 0
+
+
+class TestOverheadSet:
+    def test_decompose_names(self, bed):
+        testbed, phone, collector = bed
+        run_icmp_probe(testbed, phone, collector)
+        overheads = decompose(collector.completed())
+        for name in OVERHEAD_NAMES:
+            assert len(overheads.series(name)) == 1
+        assert overheads.series("total")[0] == pytest.approx(
+            overheads.series("du_k")[0] + overheads.series("dk_n")[0])
+        assert overheads.series("dk_n")[0] == pytest.approx(
+            overheads.series("dk_v")[0] + overheads.series("dv_n")[0])
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadSet().series("nope")
+
+    def test_box_and_summary(self, bed):
+        testbed, phone, collector = bed
+        for _ in range(5):
+            run_icmp_probe(testbed, phone, collector, wait=0.3)
+        overheads = decompose(collector.completed())
+        box = overheads.box("dk_n")
+        summary = overheads.summary("dk_n")
+        assert box.n == 5 and summary.n == 5
+        assert box.q1 <= box.median <= box.q3
+        # 0.3 s idle between probes > Tis: each pays the SDIO wake (~10 ms).
+        assert 0.005 < summary.mean < 0.030

@@ -1,0 +1,84 @@
+"""Tests for the warm-up timing policy (§4.1)."""
+
+import pytest
+
+from repro.core.calibration import CalibrationResult
+from repro.core.warmup import DEFAULT_DB, DEFAULT_DPRE, WarmupPlan, WarmupPolicy
+from repro.phone.profiles import NEXUS_4, NEXUS_5, PHONES
+
+
+class TestWarmupPlan:
+    def test_paper_defaults_are_20ms(self):
+        assert DEFAULT_DPRE == pytest.approx(0.020)
+        assert DEFAULT_DB == pytest.approx(0.020)
+
+    def test_valid_plan(self):
+        plan = WarmupPlan(dpre=0.020, db=0.020, t_prom=0.014, t_is=0.050,
+                          t_ip=0.205)
+        assert plan.valid
+        assert plan.violations() == []
+        assert plan.demotion_floor == pytest.approx(0.050)
+
+    def test_dpre_below_tprom_invalid(self):
+        plan = WarmupPlan(dpre=0.010, db=0.020, t_prom=0.014, t_is=0.050,
+                          t_ip=0.205)
+        assert not plan.valid
+        assert any("Tprom" in v for v in plan.violations())
+
+    def test_dpre_above_demotion_floor_invalid(self):
+        plan = WarmupPlan(dpre=0.060, db=0.020, t_prom=0.014, t_is=0.050,
+                          t_ip=0.205)
+        assert not plan.valid
+        assert any("demotes again" in v for v in plan.violations())
+
+    def test_db_above_floor_invalid(self):
+        plan = WarmupPlan(dpre=0.020, db=0.055, t_prom=0.014, t_is=0.050,
+                          t_ip=0.205)
+        assert not plan.valid
+        assert any("background" in v for v in plan.violations())
+
+    def test_floor_uses_minimum_of_tis_tip(self):
+        # Nexus 4: Tip (40 ms) < Tis: PSM is the binding constraint.
+        plan = WarmupPlan(dpre=0.020, db=0.020, t_prom=0.003, t_is=0.050,
+                          t_ip=0.030)
+        assert plan.demotion_floor == pytest.approx(0.030)
+
+
+class TestWarmupPolicy:
+    def test_paper_defaults_valid_for_all_five_phones(self):
+        # §4.2: "the empirical values work effectively" on every phone.
+        for profile in PHONES.values():
+            policy = WarmupPolicy.for_profile(profile)
+            plan = policy.plan()
+            assert plan.valid, (profile.key, plan.violations())
+
+    def test_recommend_satisfies_constraints(self):
+        for profile in PHONES.values():
+            plan = WarmupPolicy.for_profile(profile).recommend()
+            assert plan.valid, profile.key
+
+    def test_recommend_infeasible_raises(self):
+        policy = WarmupPolicy(t_prom=0.050, t_is=0.040, t_ip=0.060)
+        with pytest.raises(ValueError):
+            policy.recommend()
+
+    def test_for_profile_uses_worst_case_wake(self):
+        policy = WarmupPolicy.for_profile(NEXUS_5)
+        assert policy.t_prom == pytest.approx(
+            NEXUS_5.chipset.wake_delay.high)
+        assert policy.t_is == pytest.approx(0.050)
+
+    def test_nexus4_constraint_is_psm(self):
+        policy = WarmupPolicy.for_profile(NEXUS_4)
+        plan = policy.plan()
+        # Tip - jitter = 25 ms; Tis = 25 ms: the floor is tight but > 20 ms.
+        assert plan.demotion_floor > 0.020
+
+    def test_from_calibration(self):
+        calibration = CalibrationResult(t_is=0.05, t_prom=0.012, t_ip=0.2)
+        policy = WarmupPolicy.from_calibration(calibration)
+        assert policy.plan().valid
+
+    def test_negative_timers_rejected(self):
+        with pytest.raises(ValueError):
+            WarmupPolicy(t_prom=-0.01, t_is=0.05, t_ip=0.2)

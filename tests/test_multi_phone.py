@@ -1,0 +1,95 @@
+"""Concurrent multi-phone measurements on one WLAN."""
+
+import statistics
+
+import pytest
+
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.net.addresses import ip
+from repro.testbed.topology import Testbed
+from repro.tools.ping import PingTool
+
+
+def build(seed=95, rtt=0.060):
+    testbed = Testbed(seed=seed, emulated_rtt=rtt)
+    n5 = testbed.add_phone("nexus5")
+    n4 = testbed.add_phone("nexus4", phone_ip=ip("192.168.1.20"))
+    collectors = {p: ProbeCollector(p) for p in (n5, n4)}
+    testbed.settle(0.5)
+    return testbed, n5, n4, collectors
+
+
+class TestConcurrentMeasurement:
+    def test_two_phones_disagree_with_stock_ping(self):
+        # The §1 motivation: same path, chipset-dependent answers.
+        testbed, n5, n4, collectors = build()
+        finished = []
+        tools = {}
+        for phone in (n5, n4):
+            tool = PingTool(phone, collectors[phone], testbed.server_ip,
+                            interval=1.0)
+            tools[phone] = tool
+            tool.start(20, on_complete=lambda r, p=phone: finished.append(p))
+        while len(finished) < 2:
+            assert testbed.sim.step()
+        du_n5 = statistics.median(tools[n5].rtts())
+        du_n4 = statistics.median(tools[n4].rtts())
+        # Both inflated, by different amounts, through different paths.
+        assert abs(du_n5 - du_n4) > 0.01
+        dn_n4 = statistics.median(collectors[n4].layered_rtts()["dn"])
+        dn_n5 = statistics.median(collectors[n5].layered_rtts()["dn"])
+        assert dn_n4 > dn_n5 + 0.02  # N4's inflation is in the network
+
+    def test_two_phones_agree_under_acutemon(self):
+        testbed, n5, n4, collectors = build(seed=96)
+        finished = []
+        monitors = {}
+        for phone in (n5, n4):
+            monitor = AcuteMon(phone, collectors[phone], testbed.server_ip,
+                               config=AcuteMonConfig(probe_count=20))
+            monitors[phone] = monitor
+            monitor.start(on_complete=lambda r, p=phone: finished.append(p))
+        while len(finished) < 2:
+            assert testbed.sim.step()
+        du_n5 = statistics.median(monitors[n5].rtts())
+        du_n4 = statistics.median(monitors[n4].rtts())
+        assert abs(du_n5 - du_n4) < 0.004
+        for phone in (n5, n4):
+            dn = statistics.median(collectors[phone].layered_rtts()["dn"])
+            assert abs(dn - 0.060) < 0.003
+
+    def test_collectors_do_not_cross_contaminate(self):
+        # Each phone's kernel tap only sees its own probes.
+        testbed, n5, n4, collectors = build(seed=97)
+        tool5 = PingTool(n5, collectors[n5], testbed.server_ip,
+                         interval=0.05)
+        tool4 = PingTool(n4, collectors[n4], testbed.server_ip,
+                         interval=0.05)
+        done = []
+        tool5.start(10, on_complete=lambda r: done.append(5))
+        tool4.start(10, on_complete=lambda r: done.append(4))
+        while len(done) < 2:
+            assert testbed.sim.step()
+        for phone in (n5, n4):
+            records = collectors[phone].completed()
+            assert len(records) == 10
+            for record in records:
+                assert record.request.src == phone.ip_addr
+
+    def test_one_phones_bg_traffic_does_not_break_the_other(self):
+        # AcuteMon on phone A while phone B pings normally.
+        testbed, n5, n4, collectors = build(seed=98, rtt=0.030)
+        done = []
+        monitor = AcuteMon(n5, collectors[n5], testbed.server_ip,
+                           config=AcuteMonConfig(probe_count=30))
+        monitor.start(on_complete=lambda r: done.append("acute"))
+        tool = PingTool(n4, collectors[n4], testbed.server_ip,
+                        interval=0.02)
+        tool.start(30, on_complete=lambda r: done.append("ping"))
+        while len(done) < 2:
+            assert testbed.sim.step()
+        assert monitor.loss_count() == 0
+        assert tool.loss_count() == 0
+        # Phone B's fast pings stay accurate despite A's background load.
+        assert statistics.median(tool.rtts()) < 0.040

@@ -1,0 +1,85 @@
+"""Unit tests for the iPerf-style load generator and sink."""
+
+import pytest
+
+from repro.net.iperf import UdpFlow, UdpLoadGenerator, UdpSink
+from repro.net.servers import UdpEchoServer
+
+
+class TestUdpFlow:
+    def test_interval_matches_rate(self, lan):
+        sim, a, _b = lan
+        flow = UdpFlow(sim, a.stack, _b.ip_addr, 5001, rate_bps=2.5e6,
+                       payload_size=1470)
+        assert flow.interval == pytest.approx(1470 * 8 / 2.5e6)
+
+    def test_paced_sending(self, lan):
+        sim, a, b = lan
+        sink = UdpSink(b, 5001)
+        flow = UdpFlow(sim, a.stack, b.ip_addr, 5001, rate_bps=1e6,
+                       payload_size=1250)  # 100 packets/sec
+        flow.start(jitter_first=False)
+        sim.run(until=1.0)
+        flow.stop()
+        assert flow.packets_sent == pytest.approx(100, abs=2)
+        assert sink.packets_received == flow.packets_sent
+
+    def test_stop_halts_flow(self, lan):
+        sim, a, b = lan
+        UdpSink(b, 5001)
+        flow = UdpFlow(sim, a.stack, b.ip_addr, 5001, rate_bps=1e6)
+        flow.start(jitter_first=False)
+        sim.run(until=0.5)
+        flow.stop()
+        sent = flow.packets_sent
+        sim.run(until=2.0)
+        assert flow.packets_sent == sent
+
+    def test_invalid_rate_rejected(self, lan):
+        sim, a, b = lan
+        with pytest.raises(ValueError):
+            UdpFlow(sim, a.stack, b.ip_addr, 5001, rate_bps=0)
+
+
+class TestLoadGenerator:
+    def test_aggregate_offered_load(self, lan):
+        sim, a, b = lan
+        gen = UdpLoadGenerator(sim, a.stack, b.ip_addr, 5001, flows=10,
+                               rate_bps=2.5e6, rng=sim.rng.stream("g"))
+        assert gen.offered_load_bps == pytest.approx(25e6)
+
+    def test_throughput_measured_at_sink(self, lan):
+        sim, a, b = lan
+        sink = UdpSink(b, 5001)
+        gen = UdpLoadGenerator(sim, a.stack, b.ip_addr, 5001, flows=4,
+                               rate_bps=1e6, rng=sim.rng.stream("g"))
+        gen.start()
+        sim.run(until=2.0)
+        gen.stop()
+        # Gigabit wire: everything offered gets through.
+        assert sink.throughput_bps() == pytest.approx(4e6, rel=0.1)
+        assert gen.packets_sent == sink.packets_received
+
+    def test_flows_desynchronised(self, lan):
+        sim, a, b = lan
+        UdpSink(b, 5001)
+        gen = UdpLoadGenerator(sim, a.stack, b.ip_addr, 5001, flows=10,
+                               rate_bps=2.5e6, rng=sim.rng.stream("g"))
+        gen.start()
+        first_sends = sorted(
+            flow._event.time for flow in gen.flows if flow._event
+        )
+        assert len(set(first_sends)) == 10  # no two start simultaneously
+
+
+class TestUdpSink:
+    def test_empty_sink_zero_throughput(self, lan):
+        _sim, _a, b = lan
+        sink = UdpSink(b, 6000)
+        assert sink.throughput_bps() == 0.0
+
+    def test_sink_close_unbinds(self, lan):
+        sim, a, b = lan
+        sink = UdpSink(b, 6000)
+        sink.close()
+        UdpEchoServer(b, port=6000)  # port must be free again

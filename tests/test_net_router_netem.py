@@ -1,0 +1,182 @@
+"""Unit tests for the router (TTL handling) and netem emulation."""
+
+import pytest
+
+from repro.net.addresses import MacAddress, ip
+from repro.net.arp import ArpTable
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.netem import NetemQdisc
+from repro.net.packet import IcmpEcho, IcmpTimeExceeded, Packet, UdpDatagram
+from repro.net.router import Router
+
+
+def make_routed_pair(sim, send_time_exceeded=True):
+    """host_a -- router -- host_b across two subnets."""
+    router = Router(sim, send_time_exceeded=send_time_exceeded,
+                    rng=sim.rng.stream("router"))
+    arp_a, arp_b = ArpTable(), ArpTable()
+    link_a, link_b = Link(sim), Link(sim)
+    router.add_ethernet_port("net-a", ip("10.0.1.1"), "10.0.1.0/24",
+                             arp_a, link=link_a)
+    router.add_ethernet_port("net-b", ip("10.0.2.1"), "10.0.2.0/24",
+                             arp_b, link=link_b)
+    host_a = Host(sim, "a", ip("10.0.1.2"), MacAddress.from_index(1),
+                  arp_a, gateway=ip("10.0.1.1"),
+                  rng=sim.rng.stream("host-a"))
+    host_a.nic.attach_link(link_a)
+    host_b = Host(sim, "b", ip("10.0.2.2"), MacAddress.from_index(2),
+                  arp_b, gateway=ip("10.0.2.1"),
+                  rng=sim.rng.stream("host-b"))
+    host_b.nic.attach_link(link_b)
+    return router, host_a, host_b
+
+
+class TestRouting:
+    def test_forwards_between_subnets(self, sim):
+        router, a, b = make_routed_pair(sim)
+        replies = []
+        a.stack.register_ping(5, replies.append)
+        a.stack.send_echo_request(b.ip_addr, 5, 1)
+        sim.run(until=1.0)
+        assert len(replies) == 1
+        assert router.packets_forwarded >= 2
+
+    def test_ttl_decremented_in_transit(self, sim):
+        router, a, b = make_routed_pair(sim)
+        seen = []
+        b.stack.udp_bind(4000, seen.append)
+        a.stack.send_udp(b.ip_addr, 4000, payload_size=10, ttl=10)
+        sim.run(until=1.0)
+        assert seen[0].ttl == 9
+
+    def test_ttl_one_dropped_with_time_exceeded(self, sim):
+        router, a, b = make_routed_pair(sim)
+        errors = []
+        a.stack.add_icmp_error_handler(errors.append)
+        delivered = []
+        b.stack.udp_bind(4000, delivered.append)
+        a.stack.send_udp(b.ip_addr, 4000, payload_size=10, ttl=1,
+                         meta={"probe_id": 1})
+        sim.run(until=1.0)
+        assert delivered == []
+        assert router.packets_expired == 1
+        assert len(errors) == 1
+        assert isinstance(errors[0].payload, IcmpTimeExceeded)
+        # The error's source is the ingress interface of the router.
+        assert errors[0].src == ip("10.0.1.1")
+
+    def test_time_exceeded_can_be_suppressed(self, sim):
+        router, a, b = make_routed_pair(sim, send_time_exceeded=False)
+        errors = []
+        a.stack.add_icmp_error_handler(errors.append)
+        a.stack.send_udp(b.ip_addr, 4000, payload_size=10, ttl=1)
+        sim.run(until=1.0)
+        assert errors == []
+        assert router.packets_expired == 1
+
+    def test_no_icmp_error_about_icmp_error(self, sim):
+        router, a, _b = make_routed_pair(sim)
+        inner = Packet(ip("10.0.1.2"), ip("10.0.2.2"),
+                       UdpDatagram(1000, 2000, 8))
+        error = Packet(ip("10.0.1.2"), ip("10.0.2.2"),
+                       IcmpTimeExceeded(inner), ttl=1)
+        errors = []
+        a.stack.add_icmp_error_handler(errors.append)
+        a.stack.send(error)
+        sim.run(until=1.0)
+        assert errors == []
+
+    def test_unroutable_destination_counted(self, sim):
+        router, a, _b = make_routed_pair(sim)
+        a.stack.send_udp(ip("172.16.0.1"), 4000, payload_size=10)
+        sim.run(until=1.0)
+        assert router.packets_unroutable == 1
+
+    def test_router_answers_ping_to_its_address(self, sim):
+        _router, a, _b = make_routed_pair(sim)
+        replies = []
+        a.stack.register_ping(6, replies.append)
+        a.stack.send_echo_request(ip("10.0.1.1"), 6, 1)
+        sim.run(until=1.0)
+        assert len(replies) == 1
+
+    def test_longest_prefix_match(self, sim):
+        router, _a, _b = make_routed_pair(sim)
+        specific = router.lookup_route(ip("10.0.2.7"))
+        assert specific is not None
+        assert str(specific[0]) == "10.0.2.0/24"
+
+
+class TestNetem:
+    def test_fixed_delay(self, sim):
+        qdisc = NetemQdisc(sim, delay=0.05)
+        arrivals = []
+        packet = Packet(ip("1.1.1.1"), ip("2.2.2.2"), IcmpEcho(8, 1, 1))
+        qdisc.apply(packet, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.05)]
+
+    def test_uniform_jitter_bounded(self, sim):
+        qdisc = NetemQdisc(sim, delay=0.05, jitter=0.01,
+                           rng=sim.rng.stream("j"))
+        delays = [qdisc.draw_delay() for _ in range(500)]
+        assert all(0.04 <= d <= 0.06 for d in delays)
+        assert max(delays) - min(delays) > 0.005  # actually spread out
+
+    def test_normal_jitter_never_negative(self, sim):
+        qdisc = NetemQdisc(sim, delay=0.001, jitter=0.01,
+                           jitter_dist="normal", rng=sim.rng.stream("j"))
+        assert all(qdisc.draw_delay() >= 0 for _ in range(500))
+
+    def test_loss_drops_packets(self, sim):
+        qdisc = NetemQdisc(sim, loss=1.0, rng=sim.rng.stream("l"))
+        arrivals = []
+        packet = Packet(ip("1.1.1.1"), ip("2.2.2.2"), IcmpEcho(8, 1, 1))
+        qdisc.apply(packet, lambda p: arrivals.append(p))
+        sim.run()
+        assert arrivals == []
+        assert qdisc.stats.lost == 1
+
+    def test_maintain_order(self, sim):
+        qdisc = NetemQdisc(sim, delay=0.05, jitter=0.04,
+                           rng=sim.rng.stream("o"), maintain_order=True)
+        order = []
+        for index in range(50):
+            packet = Packet(ip("1.1.1.1"), ip("2.2.2.2"),
+                            UdpDatagram(1000, 2000, index))
+            qdisc.apply(packet, lambda p: order.append(p.payload.payload_size))
+        sim.run()
+        assert order == sorted(order)
+
+    def test_reordering_possible_without_flag(self, sim):
+        qdisc = NetemQdisc(sim, delay=0.05, jitter=0.04,
+                           rng=sim.rng.stream("r"))
+        order = []
+        for index in range(100):
+            packet = Packet(ip("1.1.1.1"), ip("2.2.2.2"),
+                            UdpDatagram(1000, 2000, index))
+            qdisc.apply(packet, lambda p: order.append(p.payload.payload_size))
+        sim.run()
+        assert order != sorted(order)
+
+    def test_parameter_validation(self, sim):
+        with pytest.raises(ValueError):
+            NetemQdisc(sim, delay=-1)
+        with pytest.raises(ValueError):
+            NetemQdisc(sim, loss=1.5, rng=sim.rng.stream("x"))
+        with pytest.raises(ValueError):
+            NetemQdisc(sim, jitter=0.01)  # jitter without rng
+        with pytest.raises(ValueError):
+            NetemQdisc(sim, jitter=0.01, jitter_dist="pareto",
+                       rng=sim.rng.stream("x"))
+
+    def test_emulates_rtt_on_server_egress(self, lan):
+        # End-to-end: a 30 ms qdisc on b makes a's ping RTT ~30 ms.
+        sim, a, b = lan
+        b.netem = NetemQdisc(sim, delay=0.030, rng=sim.rng.stream("n"))
+        times = []
+        a.stack.register_ping(7, lambda p: times.append(sim.now))
+        a.stack.send_echo_request(b.ip_addr, 7, 1)
+        sim.run(until=1.0)
+        assert times[0] == pytest.approx(0.030, abs=0.002)

@@ -1,0 +1,284 @@
+"""Unit and integration tests for the IP stack and TCP implementation."""
+
+import pytest
+
+from repro.net.addresses import ip
+from repro.net.netem import NetemQdisc
+from repro.net.packet import TCP_RST, TCP_SYN
+from repro.net.servers import HttpServer, MeasurementServer, UdpEchoServer
+from tests.conftest import run_until
+
+
+class TestIcmp:
+    def test_echo_round_trip(self, lan):
+        sim, a, b = lan
+        replies = []
+        a.stack.register_ping(7, replies.append)
+        a.stack.send_echo_request(b.ip_addr, 7, 1, meta={"probe_id": 1})
+        sim.run(until=1.0)
+        assert len(replies) == 1
+        assert replies[0].probe_id == 1
+        assert replies[0].src == b.ip_addr
+
+    def test_echo_responder_can_be_disabled(self, lan):
+        sim, a, b = lan
+        b.stack.echo_responder_enabled = False
+        replies = []
+        a.stack.register_ping(7, replies.append)
+        a.stack.send_echo_request(b.ip_addr, 7, 1)
+        sim.run(until=1.0)
+        assert replies == []
+
+    def test_reply_demuxed_by_ident(self, lan):
+        sim, a, b = lan
+        mine, other = [], []
+        a.stack.register_ping(7, mine.append)
+        a.stack.register_ping(8, other.append)
+        a.stack.send_echo_request(b.ip_addr, 7, 1)
+        sim.run(until=1.0)
+        assert len(mine) == 1 and other == []
+
+    def test_duplicate_ident_rejected(self, lan):
+        _sim, a, _b = lan
+        a.stack.register_ping(7, lambda p: None)
+        with pytest.raises(ValueError):
+            a.stack.register_ping(7, lambda p: None)
+
+    def test_ping_handle_close_unregisters(self, lan):
+        sim, a, b = lan
+        replies = []
+        handle = a.stack.register_ping(7, replies.append)
+        handle.close()
+        a.stack.send_echo_request(b.ip_addr, 7, 1)
+        sim.run(until=1.0)
+        assert replies == []
+
+
+class TestUdp:
+    def test_udp_delivery_and_echo(self, lan):
+        sim, a, b = lan
+        UdpEchoServer(b, port=9999)
+        got = []
+        a.stack.udp_bind(5555, got.append)
+        a.stack.send_udp(b.ip_addr, 9999, src_port=5555, payload_size=64,
+                         meta={"probe_id": 3})
+        sim.run(until=1.0)
+        assert len(got) == 1
+        assert got[0].payload.payload_size == 64
+        assert got[0].probe_id == 3
+
+    def test_unbound_port_drops(self, lan):
+        sim, a, b = lan
+        before = b.stack.packets_dropped
+        a.stack.send_udp(b.ip_addr, 4242, payload_size=10)
+        sim.run(until=1.0)
+        assert b.stack.packets_dropped == before + 1
+
+    def test_echo_delay_meta_honoured(self, lan):
+        sim, a, b = lan
+        UdpEchoServer(b, port=9999)
+        arrivals = []
+        a.stack.udp_bind(5555, lambda p: arrivals.append(sim.now))
+        a.stack.send_udp(b.ip_addr, 9999, src_port=5555, payload_size=32,
+                         meta={"probe_id": 1, "echo_delay": 0.25})
+        sim.run(until=1.0)
+        assert arrivals and arrivals[0] >= 0.25
+
+    def test_ephemeral_ports_unique(self, lan):
+        _sim, a, _b = lan
+        ports = {a.stack.allocate_port() for _ in range(100)}
+        assert len(ports) == 100
+
+
+class TestTcpHandshake:
+    def test_three_way_handshake(self, lan):
+        sim, a, b = lan
+        server_conns = []
+        b.stack.tcp.listen(80, server_conns.append)
+        connected = []
+        conn = a.stack.tcp.connect(b.ip_addr, 80)
+        conn.on_connected = lambda c: connected.append(sim.now)
+        sim.run(until=1.0)
+        assert connected
+        assert conn.state == "ESTABLISHED"
+        assert server_conns[0].state == "ESTABLISHED"
+
+    def test_syn_to_closed_port_resets(self, lan):
+        sim, a, b = lan
+        resets = []
+        conn = a.stack.tcp.connect(b.ip_addr, 81)
+        conn.on_reset = lambda c: resets.append(sim.now)
+        sim.run(until=1.0)
+        assert resets
+        assert conn.state == "CLOSED"
+
+    def test_meta_propagates_to_syn_ack(self, lan):
+        sim, a, b = lan
+        b.stack.tcp.listen(80, lambda c: None)
+        seen = []
+        original_deliver = a.stack.tcp.deliver
+
+        def spy(packet):
+            seen.append(packet)
+            original_deliver(packet)
+
+        a.stack.tcp.deliver = spy
+        a.stack.tcp.connect(b.ip_addr, 80, meta={"probe_id": 42})
+        sim.run(until=1.0)
+        syn_acks = [p for p in seen if p.payload.has(TCP_SYN)]
+        assert syn_acks and syn_acks[0].probe_id == 42
+
+
+class TestTcpData:
+    def _established(self, lan):
+        sim, a, b = lan
+        server_side = {}
+
+        def on_conn(conn):
+            server_side["conn"] = conn
+
+        b.stack.tcp.listen(80, on_conn)
+        client = a.stack.tcp.connect(b.ip_addr, 80)
+        sim.run(until=0.5)
+        return sim, a, b, client, server_side["conn"]
+
+    def test_data_transfer_counts_bytes(self, lan):
+        sim, _a, _b, client, server = self._established(lan)
+        received = []
+        server.on_data = lambda c, n, m: received.append(n)
+        client.send(500)
+        sim.run(until=1.0)
+        assert sum(received) == 500
+        assert server.bytes_received == 500
+
+    def test_large_send_segmented_at_mss(self, lan):
+        sim, _a, _b, client, server = self._established(lan)
+        chunks = []
+        server.on_data = lambda c, n, m: chunks.append(n)
+        client.send(4000)
+        sim.run(until=1.0)
+        assert sum(chunks) == 4000
+        assert max(chunks) <= 1460
+        assert len(chunks) == 3
+
+    def test_bidirectional_transfer(self, lan):
+        sim, _a, _b, client, server = self._established(lan)
+        got_back = []
+        server.on_data = lambda c, n, m: c.send(2 * n)
+        client.on_data = lambda c, n, m: got_back.append(n)
+        client.send(100)
+        sim.run(until=1.0)
+        assert sum(got_back) == 200
+
+    def test_send_meta_reaches_peer(self, lan):
+        sim, _a, _b, client, server = self._established(lan)
+        metas = []
+        server.on_data = lambda c, n, m: metas.append(m)
+        client.send(100, meta={"probe_id": 17})
+        sim.run(until=1.0)
+        assert metas[0].get("probe_id") == 17
+
+    def test_send_on_closed_connection_raises(self, lan):
+        sim, _a, _b, client, _server = self._established(lan)
+        client.abort()
+        from repro.net.tcp import TcpError
+
+        with pytest.raises(TcpError):
+            client.send(10)
+
+
+class TestTcpTeardown:
+    def test_orderly_close_both_sides(self, lan):
+        sim, a, b = lan
+        server_conns = []
+        b.stack.tcp.listen(80, server_conns.append)
+        client = a.stack.tcp.connect(b.ip_addr, 80)
+        closed = []
+        sim.run(until=0.5)
+        server = server_conns[0]
+        server.on_close = lambda c: closed.append("server")
+        client.on_close = lambda c: closed.append("client")
+        client.close()
+        sim.run(until=1.0)
+        # Server enters CLOSE_WAIT; it closes too.
+        server.close()
+        sim.run(until=2.0)
+        assert client.state == "CLOSED"
+        assert server.state == "CLOSED"
+        assert a.stack.tcp.active_connections == 0
+        assert b.stack.tcp.active_connections == 0
+
+    def test_abort_sends_rst(self, lan):
+        sim, a, b = lan
+        server_conns = []
+        b.stack.tcp.listen(80, server_conns.append)
+        client = a.stack.tcp.connect(b.ip_addr, 80)
+        sim.run(until=0.5)
+        resets = []
+        server_conns[0].on_reset = lambda c: resets.append(1)
+        client.abort()
+        sim.run(until=1.0)
+        assert resets == [1]
+
+
+class TestTcpRetransmission:
+    def test_syn_retransmitted_under_loss(self, lan):
+        sim, a, b = lan
+        # Lossy client egress: the first SYN may vanish; RTO recovers it.
+        a.netem = NetemQdisc(sim, loss=0.5, rng=sim.rng.stream("loss"),
+                             name="lossy")
+        b.stack.tcp.listen(80, lambda c: None)
+        connected = []
+        conn = a.stack.tcp.connect(b.ip_addr, 80)
+        conn.on_connected = lambda c: connected.append(sim.now)
+        sim.run(until=30.0)
+        assert connected, "handshake must eventually complete via RTO"
+
+    def test_data_retransmitted_under_loss(self, lan):
+        sim, a, b = lan
+        server_conns = []
+        b.stack.tcp.listen(80, server_conns.append)
+        client = a.stack.tcp.connect(b.ip_addr, 80)
+        sim.run(until=0.5)
+        a.netem = NetemQdisc(sim, loss=0.4, rng=sim.rng.stream("loss2"),
+                             name="lossy2")
+        total = []
+        server_conns[0].on_data = lambda c, n, m: total.append(n)
+        for _ in range(5):
+            client.send(100)
+        sim.run(until=60.0)
+        assert sum(total) == 500
+        assert client.retransmissions > 0
+
+
+class TestServers:
+    def test_http_request_response(self, lan):
+        sim, a, b = lan
+        MeasurementServer(b)
+        responses = []
+        conn = a.stack.tcp.connect(b.ip_addr, 80)
+        conn.on_connected = lambda c: c.send(120, meta={"probe_id": 9})
+        conn.on_data = lambda c, n, m: responses.append((n, m.get("probe_id")))
+        sim.run(until=1.0)
+        assert responses == [(230, 9)]
+
+    def test_http_server_counts_requests(self, lan):
+        sim, a, b = lan
+        server = HttpServer(b, port=8080, response_size=100)
+        conn = a.stack.tcp.connect(b.ip_addr, 8080)
+        conn.on_connected = lambda c: c.send(50)
+        sim.run(until=1.0)
+        assert server.requests_served == 1
+
+    def test_http_close_after_response(self, lan):
+        sim, a, b = lan
+        HttpServer(b, port=8080, close_after_response=True)
+        closed = []
+        conn = a.stack.tcp.connect(b.ip_addr, 8080)
+        conn.on_connected = lambda c: c.send(50)
+        conn.on_close = lambda c: closed.append(1)
+        sim.run(until=2.0)
+        # Peer FIN arrives; closing our side completes the teardown.
+        conn.close()
+        sim.run(until=3.0)
+        assert conn.state == "CLOSED"

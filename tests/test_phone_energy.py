@@ -1,0 +1,137 @@
+"""Tests for the energy meter and the paper's low-battery claim (§4.1)."""
+
+import pytest
+
+from repro.core.acutemon import AcuteMon, AcuteMonConfig
+from repro.core.measurement import ProbeCollector
+from repro.phone.energy import EnergyMeter, PowerProfile
+from repro.testbed.topology import Testbed
+
+
+def build(seed=61, **phone_kwargs):
+    testbed = Testbed(seed=seed, emulated_rtt=0.03)
+    phone = testbed.add_phone("nexus5", **phone_kwargs)
+    meter = EnergyMeter(phone)
+    return testbed, phone, meter
+
+
+class TestAccounting:
+    def test_idle_phone_mostly_dozes(self):
+        testbed, phone, meter = build()
+        testbed.run(10.0)
+        meter.snapshot()
+        assert meter.doze_time > 9.0
+        assert meter.cam_time < 1.0
+        # Bus also sleeps when idle.
+        assert meter.bus_awake_time < 1.0
+
+    def test_psm_disabled_stays_cam(self):
+        testbed, phone, meter = build(psm_enabled=False)
+        testbed.run(10.0)
+        meter.snapshot()
+        assert meter.cam_time > 9.5
+        assert meter.doze_time == pytest.approx(0.0, abs=0.1)
+
+    def test_time_accumulators_cover_elapsed(self):
+        testbed, phone, meter = build()
+        testbed.run(5.0)
+        meter.snapshot()
+        assert meter.cam_time + meter.doze_time == pytest.approx(
+            meter.elapsed, abs=1e-6)
+
+    def test_traffic_accumulates_airtime(self):
+        testbed, phone, meter = build()
+        testbed.settle(0.3)
+        phone.stack.register_ping(1, lambda p: None)
+        for index in range(20):
+            testbed.sim.schedule(0.02 * index, phone.stack.send_echo_request,
+                                 testbed.server_ip, 1, index)
+        testbed.run(1.0)
+        meter.snapshot()
+        assert meter.tx_airtime > 0
+        assert meter.rx_airtime > 0
+
+    def test_energy_monotone_in_time(self):
+        testbed, phone, meter = build()
+        testbed.run(1.0)
+        first = meter.energy_joules()
+        testbed.run(1.0)
+        assert meter.energy_joules() > first
+
+    def test_doze_cheaper_than_cam(self):
+        sleepy = build(seed=62)
+        sleepy[0].run(10.0)
+        awake = build(seed=62, psm_enabled=False, bus_sleep=False)
+        awake[0].run(10.0)
+        assert sleepy[2].energy_joules() < awake[2].energy_joules() / 5
+
+    def test_custom_power_profile(self):
+        testbed = Testbed(seed=63)
+        phone = testbed.add_phone("nexus5")
+        meter = EnergyMeter(phone, profile=PowerProfile(radio_doze=0.0,
+                                                        bus_awake=0.0))
+        testbed.run(5.0)
+        # Doze is free in this profile: only the brief CAM window costs.
+        assert meter.energy_joules() < 0.5
+
+    def test_average_power_and_mah(self):
+        testbed, phone, meter = build()
+        testbed.run(10.0)
+        assert meter.average_power_watts() == pytest.approx(
+            meter.energy_joules() / meter.elapsed)
+        assert meter.milliamp_hours() > 0
+
+    def test_chains_existing_state_callback(self):
+        testbed = Testbed(seed=64, emulated_rtt=0.03)
+        phone = testbed.add_phone("nexus5")
+        seen = []
+        phone.sta.on_state_change = lambda old, new, r: seen.append(new)
+        EnergyMeter(phone)
+        testbed.settle(0.3)
+        phone.stack.send_echo_request(testbed.server_ip, 1, 1)
+        testbed.run(2.0)
+        assert "DOZE" in seen  # original observer still fires
+
+
+class TestAcuteMonBatteryClaim:
+    def _session_energy(self, mitigation, window=20.0, seed=65):
+        """Energy over a fixed window containing one measurement."""
+        testbed = Testbed(seed=seed, emulated_rtt=0.03)
+        phone = testbed.add_phone(
+            "nexus5",
+            psm_enabled=(mitigation != "always_awake"),
+            bus_sleep=(mitigation != "always_awake"),
+        )
+        meter = EnergyMeter(phone)
+        collector = ProbeCollector(phone)
+        testbed.settle(0.5)
+        if mitigation in ("acutemon", "always_awake"):
+            config = AcuteMonConfig(
+                probe_count=50,
+                background_enabled=(mitigation == "acutemon"),
+                warmup_enabled=(mitigation == "acutemon"),
+            )
+            monitor = AcuteMon(phone, collector, testbed.server_ip,
+                               config=config)
+            done = []
+            monitor.start(on_complete=lambda r: done.append(r))
+            while not done:
+                testbed.sim.step()
+        remaining = window - testbed.sim.now
+        if remaining > 0:
+            testbed.run(remaining)
+        return meter.energy_joules()
+
+    def test_acutemon_cheaper_than_always_awake(self):
+        acutemon = self._session_energy("acutemon")
+        always = self._session_energy("always_awake")
+        # Keeping the phone permanently awake (the naive mitigation)
+        # costs several times more over the window.
+        assert acutemon < always / 3
+
+    def test_acutemon_overhead_over_idle_is_modest(self):
+        idle = self._session_energy("none")
+        acutemon = self._session_energy("acutemon")
+        # The measurement itself costs something, but far less than the
+        # window's always-awake budget.
+        assert idle < acutemon < idle * 4

@@ -1,0 +1,105 @@
+"""Unit tests for RNG streams, tracing, and unit helpers."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import (
+    TU, bits_to_bytes, bytes_to_bits, kbps, mbps, ms, seconds_to_ms,
+    seconds_to_us, tu, us,
+)
+
+
+class TestRngRegistry:
+    def test_streams_are_cached(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_independent(self):
+        registry = RngRegistry(1)
+        a_first = registry.stream("a").random()
+        # Drawing from b must not change a's future sequence.
+        registry2 = RngRegistry(1)
+        registry2.stream("b").random()
+        assert registry2.stream("a").random() == a_first
+
+    def test_seed_derivation_stable(self):
+        assert (RngRegistry(5).stream("x").random()
+                == RngRegistry(5).stream("x").random())
+
+    def test_different_names_different_sequences(self):
+        registry = RngRegistry(0)
+        seq_a = [registry.stream("a").random() for _ in range(5)]
+        seq_b = [registry.stream("b").random() for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_names_listing(self):
+        registry = RngRegistry(0)
+        registry.stream("zeta")
+        registry.stream("alpha")
+        assert registry.names() == ["alpha", "zeta"]
+        assert "alpha" in registry
+
+
+class TestTraceRecorder:
+    def test_records_when_enabled(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(1.0, "sdio", "bus sleep", bus="b0")
+        assert trace.count("sdio") == 1
+        assert trace.records[0].fields == {"bus": "b0"}
+
+    def test_disabled_recorder_drops_everything(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "sdio", "bus sleep")
+        assert len(trace) == 0
+
+    def test_category_filter(self):
+        trace = TraceRecorder(enabled=True, categories={"psm"})
+        trace.record(1.0, "sdio", "ignored")
+        trace.record(2.0, "psm", "kept")
+        assert [r.category for r in trace] == ["psm"]
+
+    def test_limit_counts_dropped(self):
+        trace = TraceRecorder(enabled=True, limit=2)
+        for i in range(5):
+            trace.record(i, "x", "m")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_select_by_message_substring(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(0.0, "a", "bus sleep")
+        trace.record(0.1, "a", "bus wake")
+        assert trace.count(message="sleep") == 1
+
+    def test_summary_counts_categories(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(0.0, "a", "x")
+        trace.record(0.0, "a", "y")
+        trace.record(0.0, "b", "z")
+        assert trace.summary() == {"a": 2, "b": 1}
+
+    def test_clear(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(0.0, "a", "x")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestUnits:
+    def test_ms_us(self):
+        assert ms(30) == pytest.approx(0.030)
+        assert us(500) == pytest.approx(0.0005)
+
+    def test_time_unit_is_1024_us(self):
+        assert TU == pytest.approx(1024e-6)
+        assert tu(100) == pytest.approx(0.1024)  # the paper's beacon interval
+
+    def test_round_trips(self):
+        assert seconds_to_ms(ms(17)) == pytest.approx(17)
+        assert seconds_to_us(us(250)) == pytest.approx(250)
+        assert bits_to_bytes(bytes_to_bits(1500)) == pytest.approx(1500)
+
+    def test_rates(self):
+        assert mbps(54) == 54e6
+        assert kbps(64) == 64e3

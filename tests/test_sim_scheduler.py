@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.errors import SchedulerError, SimTimeError
+from repro.sim.scheduler import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(0.3, order.append, "c")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self, sim):
+        order = []
+        for tag in range(10):
+            sim.schedule(0.5, order.append, tag)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.25]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimTimeError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimTimeError):
+            sim.at(0.5, lambda: None)
+
+    def test_call_soon_runs_after_pending_same_time_events(self, sim):
+        order = []
+        sim.schedule(0.0, order.append, "first")
+        sim.call_soon(order.append, "second")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_kwargs_passed_through(self, sim):
+        result = {}
+        sim.schedule(0.1, result.update, status="done")
+        sim.run()
+        assert result == {"status": "done"}
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=1.5)
+        assert fired == [1]
+        assert sim.now == 1.5
+
+    def test_run_until_advances_clock_on_empty_heap(self, sim):
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_pending_event_survives_partial_run(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=1.0)
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == [2]
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule(0.1, fired.append, 1)
+        sim.schedule(0.2, sim.stop)
+        sim.schedule(0.3, fired.append, 3)
+        sim.run()
+        assert fired == [1]
+        assert sim.pending() == 1
+
+    def test_run_is_not_reentrant(self, sim):
+        def nested():
+            with pytest.raises(SchedulerError):
+                sim.run()
+
+        sim.schedule(0.1, nested)
+        sim.run()
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_fired_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(0.5, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(0.5, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancelled_events_not_counted_pending(self, sim):
+        keep = sim.schedule(0.5, lambda: None)
+        drop = sim.schedule(0.6, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        assert keep is not drop
+
+    def test_peek_skips_cancelled_head(self, sim):
+        first = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        first.cancel()
+        assert sim.peek() == 0.2
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream_draws(self):
+        def draws(seed):
+            sim = Simulator(seed=seed)
+            stream = sim.rng.stream("x")
+            return [stream.random() for _ in range(10)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_event_ordering_deterministic_across_runs(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            log = []
+            for i in range(20):
+                delay = sim.rng.stream("delays").uniform(0, 1)
+                sim.schedule(delay, log.append, i)
+            sim.run()
+            return log
+
+        assert trace(3) == trace(3)

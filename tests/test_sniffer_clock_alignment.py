@@ -1,0 +1,67 @@
+"""Tests for multi-sniffer clock-skew estimation and alignment."""
+
+import pytest
+
+from repro.core.measurement import ProbeCollector
+from repro.sniffer.merge import align_clocks, estimate_offsets, merge_records
+from repro.sniffer.rtt import completed_rtts, network_rtts
+from repro.sniffer.sniffer import WirelessSniffer
+from repro.testbed.topology import Testbed
+from repro.tools.ping import PingTool
+
+
+def build_skewed(seed=211, offsets=(0.0, 0.004, -0.0025), loss=0.1):
+    testbed = Testbed(seed=seed, emulated_rtt=0.03, sniffer_count=0)
+    skewed = [
+        WirelessSniffer(testbed.sim, testbed.channel, name=f"skew-{i}",
+                        capture_loss=loss, clock_offset=offset)
+        for i, offset in enumerate(offsets)
+    ]
+    phone = testbed.add_phone("nexus5")
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    tool = PingTool(phone, collector, testbed.server_ip, interval=0.05)
+    tool.run_sync(10)
+    return testbed, phone, collector, skewed
+
+
+class TestOffsetEstimation:
+    def test_offsets_recovered_from_beacons(self):
+        _testbed, _phone, _collector, sniffers = build_skewed()
+        offsets = estimate_offsets(sniffers)
+        assert offsets["skew-0"] == 0.0
+        assert offsets["skew-1"] == pytest.approx(0.004, abs=1e-6)
+        assert offsets["skew-2"] == pytest.approx(-0.0025, abs=1e-6)
+
+    def test_custom_reference(self):
+        _testbed, _phone, _collector, sniffers = build_skewed()
+        offsets = estimate_offsets(sniffers, reference=sniffers[1])
+        # Relative to sniffer 1's clock, sniffer 0 is 4 ms behind.
+        assert offsets["skew-0"] == pytest.approx(-0.004, abs=1e-6)
+
+    def test_unsynchronised_merge_duplicates_frames(self):
+        _testbed, phone, _collector, sniffers = build_skewed()
+        naive = merge_records(*sniffers)
+        aligned = merge_records(*align_clocks(sniffers))
+        # Skew defeats dedup: the naive merge double-counts transmissions.
+        assert len(naive) > len(aligned)
+
+    def test_aligned_rtts_match_ground_truth(self):
+        _testbed, phone, collector, sniffers = build_skewed()
+        aligned = merge_records(*align_clocks(sniffers))
+        rtts = completed_rtts(network_rtts(aligned, phone.sta.mac))
+        truth = {r.probe_id: r.dn for r in collector.completed()}
+        assert len(rtts) == 10
+        for probe_id, rtt in rtts.items():
+            assert rtt == pytest.approx(truth[probe_id], abs=1e-6)
+
+    def test_single_skewed_sniffer_rtts_unbiased(self):
+        # A constant offset cancels out of (tin - ton): even one skewed
+        # capture gives correct RTTs — it is *merging* that needs sync.
+        _testbed, phone, collector, sniffers = build_skewed(
+            offsets=(0.010,), loss=0.0)
+        rtts = completed_rtts(
+            network_rtts(sniffers[0].records, phone.sta.mac))
+        truth = {r.probe_id: r.dn for r in collector.completed()}
+        for probe_id, rtt in rtts.items():
+            assert rtt == pytest.approx(truth[probe_id], abs=1e-9)

@@ -1,0 +1,154 @@
+"""Tests for phone tcpdump, probe timelines, and traceroute."""
+
+import pytest
+
+from repro.analysis.timeline import probe_timeline
+from repro.core.measurement import ProbeCollector
+from repro.phone.tcpdump import PhoneTcpdump, kernel_rtts_from_pcap
+from repro.sniffer.pcap import LINKTYPE_IEEE802_11, PcapWriter
+from repro.testbed.topology import Testbed
+from repro.tools.ping import PingTool
+from repro.tools.traceroute import TracerouteTool
+
+
+def build(seed=71, rtt=0.03):
+    testbed = Testbed(seed=seed, emulated_rtt=rtt)
+    phone = testbed.add_phone("nexus5")
+    collector = ProbeCollector(phone)
+    testbed.settle(0.5)
+    return testbed, phone, collector
+
+
+class TestPhoneTcpdump:
+    def test_capture_and_offline_dk(self, tmp_path):
+        path = tmp_path / "phone.pcap"
+        testbed, phone, collector = build()
+        with PhoneTcpdump(phone, path) as dump:
+            tool = PingTool(phone, collector, testbed.server_ip,
+                            interval=0.05)
+            tool.run_sync(10)
+        assert dump.packets_captured >= 20  # requests + replies
+        offline = kernel_rtts_from_pcap(path, phone.ip_addr)
+        live = {r.probe_id: r.dk for r in collector.completed()}
+        assert set(offline) == set(live)
+        for probe_id, dk in offline.items():
+            # pcap rounds to microseconds.
+            assert dk == pytest.approx(live[probe_id], abs=2e-6)
+
+    def test_closed_capture_stops_recording(self, tmp_path):
+        path = tmp_path / "phone.pcap"
+        testbed, phone, collector = build()
+        dump = PhoneTcpdump(phone, path)
+        dump.close()
+        tool = PingTool(phone, collector, testbed.server_ip, interval=0.05)
+        tool.run_sync(3)
+        assert dump.packets_captured == 0
+
+    def test_tcp_probe_dk_prefers_substantive_response(self, tmp_path):
+        path = tmp_path / "phone.pcap"
+        testbed, phone, collector = build()
+        with PhoneTcpdump(phone, path):
+            record = collector.new_probe()
+            conn = phone.stack.tcp.connect(
+                testbed.server_ip, 80, meta=collector.meta_for(record))
+            conn.on_connected = lambda c: c.send(
+                100, meta=collector.meta_for(record))
+            testbed.run(1.0)
+        offline = kernel_rtts_from_pcap(path, phone.ip_addr)
+        assert record.probe_id in offline
+        assert offline[record.probe_id] > 0
+
+    def test_wrong_linktype_rejected(self, tmp_path):
+        path = tmp_path / "air.pcap"
+        with PcapWriter(path, linktype=LINKTYPE_IEEE802_11) as writer:
+            writer.write(0.0, b"x")
+        from repro.net.addresses import ip
+
+        with pytest.raises(ValueError):
+            kernel_rtts_from_pcap(path, ip("192.168.1.2"))
+
+
+class TestTimeline:
+    def _one_record(self):
+        testbed, phone, collector = build()
+        tool = PingTool(phone, collector, testbed.server_ip, interval=0.05)
+        tool.run_sync(1)
+        return testbed, collector.completed()[0]
+
+    def test_events_time_ordered(self):
+        _testbed, record = self._one_record()
+        timeline = probe_timeline(record)
+        times = [event.time for event in timeline.events]
+        assert times == sorted(times)
+        assert len(timeline.events) >= 9  # user+4 down, 4 up+user
+
+    def test_span_covers_du(self):
+        _testbed, record = self._one_record()
+        timeline = probe_timeline(record)
+        assert timeline.span() >= record.du - 1e-9
+
+    def test_render_mentions_vantage_points(self):
+        _testbed, record = self._one_record()
+        text = probe_timeline(record).render()
+        for token in ("tou", "tok", "ton", "tin", "tik", "du=", "dn="):
+            assert token in text, token
+
+    def test_gaps_identify_the_network_wait(self):
+        _testbed, record = self._one_record()
+        timeline = probe_timeline(record)
+        biggest_gap, from_event, to_event = timeline.gaps()[0]
+        # On a clean probe the dominant gap is the on-air RTT.
+        assert biggest_gap == pytest.approx(record.dn, rel=0.2)
+        assert from_event.layer == "air"
+
+    def test_capture_events_included(self):
+        testbed, phone, collector = build()
+        tool = PingTool(phone, collector, testbed.server_ip, interval=0.05)
+        tool.run_sync(1)
+        record = collector.completed()[0]
+        timeline = probe_timeline(record,
+                                  capture=testbed.merged_capture())
+        sniffer_lines = [e for e in timeline.events
+                         if "sniffer" in e.label]
+        assert len(sniffer_lines) >= 2  # request + response on the air
+
+
+class TestTraceroute:
+    def test_two_hop_path_discovered(self):
+        testbed, phone, collector = build()
+        tool = TracerouteTool(phone, collector, testbed.server_ip)
+        tool.run_sync(1)
+        assert len(tool.hops) == 2
+        first, second = tool.hops
+        assert str(first.address) == "192.168.1.1"  # the AP's WLAN face
+        assert second.address == testbed.server_ip
+        assert tool.reached_target
+        assert first.rtt < second.rtt  # hop 2 includes the emulated RTT
+
+    def test_hop_rtts_sane(self):
+        testbed, phone, collector = build(rtt=0.05)
+        tool = TracerouteTool(phone, collector, testbed.server_ip)
+        tool.run_sync(1)
+        assert tool.hops[0].rtt < 0.03
+        assert tool.hops[1].rtt == pytest.approx(0.055, abs=0.02)
+
+    def test_render(self):
+        testbed, phone, collector = build()
+        tool = TracerouteTool(phone, collector, testbed.server_ip)
+        tool.run_sync(1)
+        text = tool.render()
+        assert "traceroute to" in text
+        assert "192.168.1.1" in text
+
+    def test_unreachable_tail_times_out(self):
+        from repro.net.addresses import ip
+
+        testbed, phone, collector = build()
+        tool = TracerouteTool(phone, collector, ip("10.0.0.99"),
+                              max_ttl=3, probe_timeout=0.2)
+        tool.run_sync(1)
+        assert len(tool.hops) == 3
+        assert not tool.hops[-1].timed_out or tool.hops[-1].address is None
+        assert not tool.reached_target
+        # Hop 1 (the AP) still answers.
+        assert str(tool.hops[0].address) == "192.168.1.1"

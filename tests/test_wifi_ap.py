@@ -1,0 +1,172 @@
+"""Tests for the access point: beaconing, association, routing, buffering."""
+
+import pytest
+
+from repro.net.addresses import ip
+from repro.sim.units import tu
+from repro.wifi.sta import PowerState, PsmConfig
+from tests.conftest import make_wifi_cell
+
+
+class TestBeaconing:
+    def test_beacons_strictly_periodic(self, sim):
+        channel, ap, _server, _hosts = make_wifi_cell(sim)
+        times = []
+        channel.add_monitor(
+            lambda f, ts, te, st: times.append(ts)
+            if type(f).__name__ == "BeaconFrame" else None)
+        sim.run(until=1.05)
+        assert len(times) == 10  # every 102.4 ms
+        interval = tu(ap.beacon_interval_tu)
+        for index, t in enumerate(times, start=1):
+            # Beacons may slip a little under contention, never run early.
+            assert t >= index * interval - 1e-9
+            assert t - index * interval < 0.005
+
+    def test_beacon_counter(self, sim):
+        _channel, ap, _server, _hosts = make_wifi_cell(sim)
+        sim.run(until=1.05)
+        assert ap.beacons_sent == 10
+
+    def test_custom_beacon_interval(self, sim):
+        from repro.net.addresses import MacAddress
+        from repro.wifi.ap import AccessPoint
+        from repro.wifi.channel import WifiChannel
+
+        channel = WifiChannel(sim, name="fast")
+        ap = AccessPoint(sim, channel, MacAddress.from_index(0x44),
+                         ip("192.168.9.1"), "192.168.9.0/24",
+                         beacon_interval_tu=50)
+        sim.run(until=1.0)
+        assert ap.beacons_sent == pytest.approx(19, abs=1)
+
+
+class TestAssociation:
+    def test_aids_assigned_sequentially(self, sim):
+        _channel, ap, _server, hosts = make_wifi_cell(sim, n_hosts=3)
+        aids = [host.sta.aid for host in hosts]
+        assert aids == [1, 2, 3]
+
+    def test_reassociation_keeps_aid(self, sim):
+        _channel, ap, _server, hosts = make_wifi_cell(sim)
+        sta = hosts[0].sta
+        assert ap.associate(sta, 0) == sta.aid
+
+    def test_register_unknown_station_rejected(self, sim):
+        from repro.net.addresses import MacAddress
+
+        _channel, ap, _server, _hosts = make_wifi_cell(sim)
+        with pytest.raises(ValueError):
+            ap.register_station_ip(ip("192.168.1.200"),
+                                   MacAddress.from_index(0x99))
+
+
+class TestRoutingThroughAp:
+    def test_wlan_to_wired_round_trip(self, sim):
+        _channel, _ap, server, hosts = make_wifi_cell(sim)
+        replies = []
+        hosts[0].stack.register_ping(4, lambda p: replies.append(sim.now))
+        hosts[0].stack.send_echo_request(server.ip_addr, 4, 1)
+        sim.run(until=1.0)
+        assert len(replies) == 1
+
+    def test_gateway_answers_ping(self, sim):
+        _channel, _ap, _server, hosts = make_wifi_cell(sim)
+        replies = []
+        hosts[0].stack.register_ping(4, lambda p: replies.append(sim.now))
+        hosts[0].stack.send_echo_request(ip("192.168.1.1"), 4, 1)
+        sim.run(until=1.0)
+        assert len(replies) == 1
+
+    def test_ttl_one_dies_at_ap_with_icmp_error(self, sim):
+        _channel, ap, server, hosts = make_wifi_cell(sim)
+        errors = []
+        hosts[0].stack.add_icmp_error_handler(lambda p: errors.append(p))
+        received = []
+        server.stack.udp_bind(33434, received.append)
+        hosts[0].stack.send_udp(server.ip_addr, 33434, payload_size=8, ttl=1)
+        sim.run(until=1.0)
+        assert received == []
+        assert ap.router.packets_expired == 1
+        assert len(errors) == 1
+
+    def test_wired_to_wlan_direction(self, sim):
+        _channel, _ap, server, hosts = make_wifi_cell(sim)
+        got = []
+        hosts[0].stack.udp_bind(7070, got.append)
+        server.stack.send_udp(hosts[0].ip_addr, 7070, payload_size=16)
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+    def test_two_stations_communicate_via_ap(self, sim):
+        _channel, _ap, _server, hosts = make_wifi_cell(sim, n_hosts=2)
+        got = []
+        hosts[1].stack.udp_bind(8080, got.append)
+        hosts[0].stack.send_udp(hosts[1].ip_addr, 8080, payload_size=16)
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+
+class TestPowerSaveBuffering:
+    def _dozing_cell(self, sim):
+        psm = PsmConfig(enabled=True, timeout=0.05)
+        channel, ap, server, hosts = make_wifi_cell(sim, psm=psm)
+        sim.run(until=1.0)
+        assert hosts[0].sta.power_state == PowerState.DOZE
+        return channel, ap, server, hosts[0]
+
+    def test_frames_buffered_while_asleep(self, sim):
+        _channel, ap, server, host = self._dozing_cell(sim)
+        record = ap.station_record(host.sta.mac)
+        host.stack.udp_bind(4444, lambda p: None)
+        server.stack.send_udp(host.ip_addr, 4444, payload_size=16)
+        # Run only a few ms: before the next beacon the frame sits buffered.
+        sim.run(until=sim.now + 0.004)
+        assert len(record.buffer) == 1
+        assert ap.frames_buffered == 1
+
+    def test_buffer_flushed_on_wake(self, sim):
+        _channel, ap, server, host = self._dozing_cell(sim)
+        record = ap.station_record(host.sta.mac)
+        got = []
+        host.stack.udp_bind(4444, got.append)
+        for _ in range(3):
+            server.stack.send_udp(host.ip_addr, 4444, payload_size=16)
+        sim.run(until=sim.now + 0.3)
+        assert len(got) == 3
+        assert record.buffer == []
+
+    def test_more_data_bit_on_flush(self, sim):
+        channel, ap, server, host = self._dozing_cell(sim)
+        flushed = []
+        channel.add_monitor(
+            lambda f, ts, te, st: flushed.append(f.more_data)
+            if type(f).__name__ == "DataFrame"
+            and f.dst_mac == host.sta.mac else None)
+        host.stack.udp_bind(4444, lambda p: None)
+        for _ in range(3):
+            server.stack.send_udp(host.ip_addr, 4444, payload_size=16)
+        sim.run(until=sim.now + 0.3)
+        assert flushed == [True, True, False]
+
+    def test_buffer_overflow_drops(self, sim):
+        _channel, ap, server, host = self._dozing_cell(sim)
+        record = ap.station_record(host.sta.mac)
+        host.stack.udp_bind(4444, lambda p: None)
+        for _ in range(ap.PS_BUFFER_LIMIT + 10):
+            server.stack.send_udp(host.ip_addr, 4444, payload_size=16)
+        sim.run(until=sim.now + 0.002)
+        assert len(record.buffer) == ap.PS_BUFFER_LIMIT
+        assert record.buffered_drops == 10
+
+    def test_awake_station_not_buffered(self, sim):
+        psm = PsmConfig(enabled=True, timeout=10.0)  # effectively CAM
+        _channel, ap, server, hosts = make_wifi_cell(sim, psm=psm)
+        sim.run(until=0.5)
+        got = []
+        hosts[0].stack.udp_bind(4444, lambda p: got.append(sim.now))
+        t0 = sim.now
+        server.stack.send_udp(hosts[0].ip_addr, 4444, payload_size=16)
+        sim.run(until=t0 + 0.2)
+        assert got and got[0] - t0 < 0.01  # no beacon quantisation
+        assert ap.frames_buffered == 0

@@ -1,0 +1,202 @@
+"""Tests for the station's adaptive power-save state machine (§3.2.2)."""
+
+import pytest
+
+from repro.net.addresses import ip
+from repro.sim.units import tu
+from repro.wifi.sta import PowerState, PsmConfig
+from tests.conftest import make_wifi_cell, run_until
+
+
+def make_psm_host(sim, timeout=0.1, jitter=0.0, listen_interval=0):
+    psm = PsmConfig(enabled=True, timeout=timeout, timeout_jitter=jitter,
+                    listen_interval=listen_interval)
+    channel, ap, server, hosts = make_wifi_cell(sim, psm=psm)
+    return channel, ap, server, hosts[0]
+
+
+class TestPsmEntry:
+    def test_station_dozes_after_timeout(self, sim):
+        _channel, _ap, _server, host = make_psm_host(sim, timeout=0.1)
+        # Some initial activity, then silence.
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=1.0)
+        assert host.sta.power_state == PowerState.DOZE
+        assert host.sta.doze_count >= 1
+
+    def test_doze_announced_with_pm_null_frame(self, sim):
+        channel, _ap, _server, host = make_psm_host(sim, timeout=0.1)
+        nulls = []
+        channel.add_monitor(
+            lambda f, ts, te, st: nulls.append((ts, f))
+            if type(f).__name__ == "NullDataFrame" else None)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=1.0)
+        pm_nulls = [f for _, f in nulls if f.pm]
+        assert pm_nulls, "doze must be announced with a PM=1 null frame"
+
+    def test_timeout_measured_from_last_activity(self, sim):
+        channel, _ap, _server, host = make_psm_host(sim, timeout=0.1)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=0.3)
+        transitions = [t for t in host.sta.state_transitions
+                       if t[2] == PowerState.DOZE]
+        assert transitions
+        doze_time = transitions[0][0]
+        # The reply comes back ~1 ms in; doze follows Tip later (+ null tx).
+        assert 0.1 < doze_time < 0.13
+
+    def test_disabled_psm_stays_awake(self, sim):
+        psm = PsmConfig.disabled()
+        _channel, _ap, _server, hosts = make_wifi_cell(sim, psm=psm)
+        hosts[0].stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=2.0)
+        assert hosts[0].sta.power_state == PowerState.AWAKE
+        assert hosts[0].sta.doze_count == 0
+
+    def test_steady_traffic_prevents_doze(self, sim):
+        _channel, _ap, _server, host = make_psm_host(sim, timeout=0.1)
+
+        def send(i):
+            host.stack.send_echo_request(ip("10.0.0.2"), 1, i)
+
+        for i in range(40):
+            sim.schedule(0.05 * i, send, i)
+        sim.run(until=1.9)
+        assert host.sta.doze_count == 0
+
+    def test_jittered_timeout_varies(self, sim):
+        _channel, _ap, _server, host = make_psm_host(
+            sim, timeout=0.1, jitter=0.03)
+        for i in range(8):
+            sim.schedule(1.0 * i, host.stack.send_echo_request,
+                         ip("10.0.0.2"), 1, i)
+        sim.run(until=8.5)
+        doze_times = [t for t, _old, new, _r in host.sta.state_transitions
+                      if new == PowerState.DOZE]
+        assert len(doze_times) >= 4
+        # Idle-to-doze gaps differ across cycles thanks to jitter.
+        wake_times = [t for t, _old, new, _r in host.sta.state_transitions
+                      if new == PowerState.AWAKE]
+        gaps = set()
+        for doze in doze_times:
+            preceding = max((w for w in wake_times if w < doze), default=None)
+            if preceding is not None:
+                gaps.add(round(doze - preceding, 3))
+        assert len(gaps) > 1
+
+
+class TestUplinkWake:
+    def test_uplink_send_wakes_immediately(self, sim):
+        _channel, _ap, _server, host = make_psm_host(sim, timeout=0.1)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=1.0)
+        assert host.sta.power_state == PowerState.DOZE
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 2)
+        # The wake is synchronous with the send call.
+        assert host.sta.power_state == PowerState.AWAKE
+
+    def test_reply_received_when_rtt_below_timeout(self, sim):
+        _channel, _ap, _server, host = make_psm_host(sim, timeout=0.2)
+        replies = []
+        host.stack.register_ping(9, lambda p: replies.append(sim.now))
+        for i in range(3):
+            sim.schedule(1.0 * i + 1.0, host.stack.send_echo_request,
+                         ip("10.0.0.2"), 9, i)
+        sim.run(until=4.0)
+        assert len(replies) == 3
+
+
+class TestDownlinkBuffering:
+    def test_downlink_to_dozing_station_waits_for_beacon(self, sim):
+        channel, ap, server, host = make_psm_host(sim, timeout=0.05)
+        sim.run(until=1.0)  # host is dozing
+        assert host.sta.power_state == PowerState.DOZE
+        arrivals = []
+        host.stack.udp_bind(4444, lambda p: arrivals.append(sim.now))
+        send_time = sim.now
+        server.stack.send_udp(host.ip_addr, 4444, payload_size=32)
+        sim.run(until=send_time + 0.5)
+        assert len(arrivals) == 1
+        wait = arrivals[0] - send_time
+        # Must be beacon-quantised: arrival only after the next TBTT.
+        beacon_interval = tu(ap.beacon_interval_tu)
+        next_tbtt = (int(send_time / beacon_interval) + 1) * beacon_interval
+        assert arrivals[0] >= next_tbtt
+        assert wait <= beacon_interval + 0.02
+
+    def test_tim_bit_set_while_buffered(self, sim):
+        channel, ap, _server, host = make_psm_host(sim, timeout=0.05)
+        sim.run(until=1.0)
+        record = ap.station_record(host.sta.mac)
+        assert record.asleep
+        tims = []
+        channel.add_monitor(
+            lambda f, ts, te, st: tims.append(f.tim_aids)
+            if type(f).__name__ == "BeaconFrame" else None)
+        _server = _server  # unused
+        # Queue a downlink frame while dozing.
+        ap.router.stack.send_echo_request(host.ip_addr, 3, 1)
+        run_until(sim, lambda: len(tims) >= 1, sim.now + 0.3)
+        assert any(host.sta.aid in aids for aids in tims)
+
+    def test_station_fetches_with_pm0_null(self, sim):
+        channel, _ap, server, host = make_psm_host(sim, timeout=0.05)
+        sim.run(until=1.0)
+        fetches = []
+        channel.add_monitor(
+            lambda f, ts, te, st: fetches.append(f)
+            if type(f).__name__ == "NullDataFrame" and not f.pm else None)
+        host.stack.udp_bind(4444, lambda p: None)
+        server.stack.send_udp(host.ip_addr, 4444, payload_size=32)
+        sim.run(until=sim.now + 0.3)
+        assert fetches, "buffered delivery must be triggered by a PM=0 null"
+
+    def test_station_redozes_after_fetch(self, sim):
+        _channel, _ap, server, host = make_psm_host(sim, timeout=0.05)
+        host.stack.udp_bind(4444, lambda p: None)
+        sim.run(until=1.0)
+        dozes_before = host.sta.doze_count
+        server.stack.send_udp(host.ip_addr, 4444, payload_size=32)
+        sim.run(until=sim.now + 1.0)
+        assert host.sta.doze_count > dozes_before
+
+    def test_listen_interval_skips_beacons(self, sim):
+        # L=2: the station only listens to every third beacon, so worst-case
+        # buffering delay grows accordingly.
+        _channel, ap, server, host = make_psm_host(
+            sim, timeout=0.05, listen_interval=2)
+        sim.run(until=1.0)
+        arrivals = []
+        host.stack.udp_bind(4444, lambda p: arrivals.append(sim.now))
+        send_time = sim.now
+        server.stack.send_udp(host.ip_addr, 4444, payload_size=32)
+        sim.run(until=send_time + 1.0)
+        assert len(arrivals) == 1
+        beacon_interval = tu(ap.beacon_interval_tu)
+        # Delivery lands on a TBTT whose index is a multiple of L+1 = 3.
+        index = round(arrivals[0] / beacon_interval)
+        assert index % 3 <= 0 or arrivals[0] - send_time <= 3 * beacon_interval + 0.02
+
+
+class TestInstrumentation:
+    def test_state_transitions_recorded(self, sim):
+        _channel, _ap, _server, host = make_psm_host(sim, timeout=0.05)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=1.0)
+        states = [(old, new) for _t, old, new, _r in host.sta.state_transitions]
+        assert (PowerState.AWAKE, PowerState.DOZE) in states
+
+    def test_on_state_change_callback(self, sim):
+        _channel, _ap, _server, host = make_psm_host(sim, timeout=0.05)
+        changes = []
+        host.sta.on_state_change = lambda old, new, reason: changes.append(reason)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=1.0)
+        assert "psm-timeout" in changes
+
+    def test_psm_config_validation(self):
+        with pytest.raises(ValueError):
+            PsmConfig(timeout=0)
+        with pytest.raises(ValueError):
+            PsmConfig(timeout=0.1, listen_interval=-1)

@@ -1,0 +1,163 @@
+"""Tests for static (legacy) PSM and the RTT round-up effect (§3.2.2).
+
+The paper: "static PSM could lead to RTT round-up effect and degrade
+network performance [19], [so] adaptive PSM is usually adopted by
+smartphones today."  This mode exists to reproduce that contrast.
+"""
+
+import statistics
+
+import pytest
+
+from repro.net.addresses import ip
+from repro.sim.units import tu
+from repro.wifi.frames import PsPollFrame
+from repro.wifi.sta import MODE_STATIC, PowerState, PsmConfig
+from tests.conftest import make_wifi_cell
+
+
+def make_static_host(sim, listen_interval=0):
+    psm = PsmConfig(enabled=True, timeout=0.2, mode=MODE_STATIC,
+                    listen_interval=listen_interval)
+    channel, ap, server, hosts = make_wifi_cell(sim, psm=psm)
+    return channel, ap, server, hosts[0]
+
+
+class TestStaticMode:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            PsmConfig(mode="hybrid")
+        assert PsmConfig(mode=MODE_STATIC).is_static
+        assert not PsmConfig().is_static
+
+    def test_dozes_immediately_after_exchange(self, sim):
+        _channel, _ap, _server, host = make_static_host(sim)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        # Well before any adaptive timeout would fire, the station is PS.
+        sim.run(until=0.02)
+        assert host.sta.power_state == PowerState.DOZE
+
+    def test_uplink_data_carries_pm_bit(self, sim):
+        channel, _ap, _server, host = make_static_host(sim)
+        pm_bits = []
+        channel.add_monitor(
+            lambda f, ts, te, st: pm_bits.append(f.pm)
+            if type(f).__name__ == "DataFrame"
+            and f.src_mac == host.sta.mac else None)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=0.5)
+        assert pm_bits and all(pm_bits)
+
+    def test_ap_keeps_buffering_despite_uplink(self, sim):
+        _channel, ap, _server, host = make_static_host(sim)
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=0.01)
+        record = ap.station_record(host.sta.mac)
+        assert record.asleep  # the PM=1 data frame kept the PS view
+
+    def test_response_retrieved_via_ps_poll(self, sim):
+        channel, _ap, _server, host = make_static_host(sim)
+        polls = []
+        channel.add_monitor(
+            lambda f, ts, te, st: polls.append(ts)
+            if isinstance(f, PsPollFrame) else None)
+        replies = []
+        host.stack.register_ping(1, lambda p: replies.append(sim.now))
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=0.5)
+        assert replies, "echo reply must eventually arrive"
+        assert polls, "retrieval must use PS-Poll"
+        assert host.sta.ps_polls_sent >= 1
+
+    def test_rtt_round_up_effect(self, sim):
+        # The defining symptom: RTTs quantise up to the beacon schedule
+        # even on a fast path.
+        _channel, ap, _server, host = make_static_host(sim)
+        rtts = []
+        pending = {}
+        beacon_interval = tu(ap.beacon_interval_tu)
+
+        def on_reply(packet):
+            rtts.append(sim.now - pending.pop(packet.payload.seq))
+
+        host.stack.register_ping(1, on_reply)
+
+        def send(seq):
+            pending[seq] = sim.now
+            host.stack.send_echo_request(ip("10.0.0.2"), 1, seq)
+
+        for index in range(10):
+            sim.schedule(index * 0.5, send, index)
+        sim.run(until=6.0)
+        assert len(rtts) == 10
+        # Path RTT is ~1 ms, yet every measured RTT is dominated by the
+        # wait for the next beacon: tens of ms, bounded by one interval.
+        assert statistics.mean(rtts) > 0.02
+        assert max(rtts) <= beacon_interval + 0.02
+        assert min(rtts) > 0.002
+
+    def test_multiple_buffered_frames_polled_one_by_one(self, sim):
+        _channel, ap, server, host = make_static_host(sim)
+        got = []
+        host.stack.udp_bind(4444, got.append)
+        # Force doze, then queue three downlink datagrams.
+        host.stack.send_echo_request(ip("10.0.0.2"), 1, 1)
+        sim.run(until=0.3)
+        for _ in range(3):
+            server.stack.send_udp(host.ip_addr, 4444, payload_size=16)
+        sim.run(until=1.0)
+        assert len(got) == 3
+        # One PS-Poll per buffered frame (plus the ping-reply retrieval).
+        assert host.sta.ps_polls_sent >= 3
+
+    def test_static_vs_adaptive_rtt_contrast(self, sim):
+        # Same path, same probing pattern, wildly different answers —
+        # the paper's motivation for studying the PSM flavour in use.
+        from repro.sim.scheduler import Simulator
+
+        def median_rtt(mode):
+            local_sim = Simulator(seed=5)
+            if mode == "static":
+                psm = PsmConfig(enabled=True, timeout=0.2, mode=MODE_STATIC)
+            else:
+                psm = PsmConfig(enabled=True, timeout=0.2)
+            _c, _a, _s, hosts = make_wifi_cell(local_sim, psm=psm)
+            host = hosts[0]
+            rtts = []
+            pending = {}
+            host.stack.register_ping(
+                1, lambda p: rtts.append(local_sim.now - pending.pop(p.payload.seq)))
+            for index in range(8):
+                def send(seq=index):
+                    pending[seq] = local_sim.now
+                    host.stack.send_echo_request(ip("10.0.0.2"), 1, seq)
+                local_sim.schedule(index * 0.5, send)
+            local_sim.run(until=5.0)
+            return statistics.median(rtts)
+
+        assert median_rtt("static") > 10 * median_rtt("adaptive")
+
+
+class TestApPowerSaveFallback:
+    def test_tx_failure_rebuffers_for_tim(self, sim):
+        # A station that goes deaf mid-delivery: the AP falls back to
+        # buffering instead of dropping.
+        channel, ap, server, hosts = make_wifi_cell(sim)
+        host = hosts[0]
+        got = []
+        host.stack.udp_bind(4444, got.append)
+        sim.run(until=0.3)
+        # Forcibly silence the receiver without telling the AP (and
+        # without any beacon-listen windows: completely deaf).
+        host.sta.power_state = PowerState.DOZE
+        server.stack.send_udp(host.ip_addr, 4444, payload_size=16)
+        sim.run(until=0.6)
+        record = ap.station_record(host.sta.mac)
+        assert record.asleep  # learned from the failed delivery
+        assert len(record.buffer) == 1
+        assert got == []
+        # Once the station resumes its beacon schedule, TIM delivery
+        # completes the handover.
+        host.sta._schedule_beacon_listen()
+        sim.run(until=1.2)
+        assert got, "frame must arrive via TIM after the fallback"
