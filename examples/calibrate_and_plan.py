@@ -11,7 +11,11 @@ suite against a phone the program pretends not to know:
 2. infer the PSM timeout Tip from the sniffer's PM-bit null frames,
 3. infer the actual listen interval from TIM-to-fetch distances,
 4. derive a valid (dpre, db) plan from the calibrated values,
-5. run AcuteMon with the derived plan and verify the overhead.
+5. run AcuteMon with the derived plan and verify the overhead,
+6. sweep the phone across emulated RTTs with the parallel campaign
+   runner (``workers=2``) — results are bit-identical to a serial
+   sweep, just faster on multi-core machines (see
+   docs/PERFORMANCE.md).
 
 Run:  python examples/calibrate_and_plan.py [phone_key]
 """
@@ -23,6 +27,7 @@ from repro.core.calibration import TimerCalibrator
 from repro.core.measurement import ProbeCollector
 from repro.core.overhead import decompose
 from repro.core.warmup import WarmupPolicy
+from repro.testbed.campaign import Campaign
 from repro.testbed.topology import Testbed
 
 
@@ -89,6 +94,16 @@ def main():
     print(f"  median delay overhead: "
           f"{overheads.box('total').median * 1e3:.2f} ms "
           "(paper target: < 3 ms)")
+
+    print()
+    print("Sweeping the calibrated phone across emulated RTTs "
+          "(parallel campaign, workers=2)...")
+    campaign = Campaign(phones=(phone_key,), rtts=(0.020, 0.085),
+                        tools=("acutemon",), count=10, base_seed=13)
+    campaign.run(workers=2)
+    for cell in campaign.results:
+        print(f"  {cell.rtt * 1e3:3.0f} ms emulated -> median error "
+              f"{cell.error() * 1e3:.2f} ms (n={len(cell.rtts)})")
 
 
 if __name__ == "__main__":

@@ -113,8 +113,12 @@ def cmd_campaign(args):
         phones=tuple(args.phones), rtts=tuple(r * 1e-3 for r in args.rtts),
         tools=tuple(args.tools), count=args.count, base_seed=args.seed,
     )
-    campaign.run(progress=lambda phone, rtt, tool, cross: print(
-        f"  running {phone} @ {rtt * 1e3:.0f}ms with {tool}..."))
+    workers = args.workers if args.workers > 0 else None
+    verb = "running" if workers == 1 else "finished"
+    campaign.run(
+        workers=workers,
+        progress=lambda phone, rtt, tool, cross: print(
+            f"  {verb} {phone} @ {rtt * 1e3:.0f}ms with {tool}..."))
     table = Table(["Phone", "RTT", "Tool", "median (ms)",
                    "error (ms)", "n"],
                   title="Campaign results")
@@ -187,6 +191,12 @@ def build_parser():
                              default=["acutemon", "ping"])
             cmd.add_argument("--out", default=None,
                              help="save results to a JSON file")
+            cmd.add_argument("--workers", type=int, default=1,
+                             metavar="N",
+                             help="worker processes for the grid "
+                                  "(default 1 = serial; 0 or negative = "
+                                  "one per CPU; results are bit-identical "
+                                  "either way)")
     return parser
 
 

@@ -10,8 +10,17 @@ with valid checksums, and parses them back into
 Payload bytes are deterministic filler (the byte count is what matters to
 the simulation), except that probe ids are embedded in the first payload
 bytes of UDP/ICMP probes so captures remain matchable.
+
+Performance notes: every simulated packet that crosses a sniffer is
+encoded (and later decoded) here, so the encoders lean on three caches —
+precompiled :class:`struct.Struct` instances, memoised filler payloads
+(an experiment uses a handful of payload sizes), and fully-encoded IPv4
+headers keyed by the header fields (checksum included, since the IPv4
+checksum covers only the header).  Decoding memoises
+:class:`ipaddress.IPv4Address` construction the same way.
 """
 
+import ipaddress
 import struct
 
 from repro.net.checksum import internet_checksum, pseudo_header
@@ -32,35 +41,67 @@ from repro.net.packet import (
 
 _FILLER = b"\xa5"
 
+_U16 = struct.Struct("!H")
+_U64 = struct.Struct("!Q")
+_IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_ICMP_ECHO_HEADER = struct.Struct("!BBHHH")
+_ICMP_ERROR_HEADER = struct.Struct("!BBHI")
+_UDP_HEADER = struct.Struct("!HHHH")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_TCP_PORTS_SEQ_ACK = struct.Struct("!HHII")
+_U16_PAIR = struct.Struct("!HH")
+_UDP_PORTS_LEN = struct.Struct("!HHH")
+
+# Bounded memo caches.  Keys are low-cardinality within an experiment
+# (payload sizes, header field combinations, endpoint addresses); the
+# size caps only matter to pathological fuzzing workloads.
+_CACHE_LIMIT = 4096
+_filler_cache = {}
+_ipv4_header_cache = {}
+_address_cache = {}
+
+
+def _filler_bytes(size):
+    cached = _filler_cache.get(size)
+    if cached is None:
+        cached = _FILLER * size
+        if len(_filler_cache) < _CACHE_LIMIT:
+            _filler_cache[size] = cached
+    return cached
+
 
 def _payload_filler(size, probe_id=None):
     if probe_id is None:
-        return _FILLER * size
-    tag = struct.pack("!Q", probe_id & 0xFFFFFFFFFFFFFFFF)
-    if size <= len(tag):
+        return _filler_bytes(size)
+    tag = _U64.pack(probe_id & 0xFFFFFFFFFFFFFFFF)
+    if size <= 8:
         return tag[:size]
-    return tag + _FILLER * (size - len(tag))
+    return tag + _filler_bytes(size - 8)
 
 
 def encode_ipv4(packet, ident=0):
     """Encode a :class:`Packet` as IPv4 bytes with a valid header checksum."""
     body = _encode_transport(packet)
-    total_length = IPV4_HEADER_LEN + len(body)
-    header = struct.pack(
-        "!BBHHHBBH4s4s",
-        (4 << 4) | 5,  # version 4, IHL 5 words
-        0,  # DSCP/ECN
-        total_length,
-        ident & 0xFFFF,
-        0,  # flags / fragment offset
-        packet.ttl,
-        packet.protocol,
-        0,  # checksum placeholder
-        packet.src.packed,
-        packet.dst.packed,
-    )
-    checksum = internet_checksum(header)
-    header = header[:10] + struct.pack("!H", checksum) + header[12:]
+    key = (len(body), ident, packet.ttl, packet.protocol,
+           packet.src, packet.dst)
+    header = _ipv4_header_cache.get(key)
+    if header is None:
+        header = _IPV4_HEADER.pack(
+            (4 << 4) | 5,  # version 4, IHL 5 words
+            0,  # DSCP/ECN
+            IPV4_HEADER_LEN + len(body),
+            ident & 0xFFFF,
+            0,  # flags / fragment offset
+            packet.ttl,
+            packet.protocol,
+            0,  # checksum placeholder
+            packet.src.packed,
+            packet.dst.packed,
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + _U16.pack(checksum) + header[12:]
+        if len(_ipv4_header_cache) < _CACHE_LIMIT:
+            _ipv4_header_cache[key] = header
     return header + body
 
 
@@ -80,39 +121,37 @@ def _encode_transport(packet):
 
 def _encode_icmp_echo(echo, probe_id):
     body = _payload_filler(echo.payload_size, probe_id)
-    header = struct.pack("!BBHHH", echo.icmp_type, 0, 0, echo.ident, echo.seq)
+    header = _ICMP_ECHO_HEADER.pack(echo.icmp_type, 0, 0, echo.ident,
+                                    echo.seq)
     checksum = internet_checksum(header + body)
-    header = header[:2] + struct.pack("!H", checksum) + header[4:]
+    header = header[:2] + _U16.pack(checksum) + header[4:]
     return header + body
 
 
 def _encode_icmp_time_exceeded(message):
     inner = encode_ipv4(message.original)[: IPV4_HEADER_LEN + 8]
     inner = inner.ljust(IPV4_HEADER_LEN + 8, b"\x00")
-    header = struct.pack("!BBHI", ICMP_TIME_EXCEEDED, 0, 0, 0)
+    header = _ICMP_ERROR_HEADER.pack(ICMP_TIME_EXCEEDED, 0, 0, 0)
     checksum = internet_checksum(header + inner)
-    header = header[:2] + struct.pack("!H", checksum) + header[4:]
+    header = header[:2] + _U16.pack(checksum) + header[4:]
     return header + inner
 
 
 def _encode_udp(packet, datagram, probe_id):
     body = _payload_filler(datagram.payload_size, probe_id)
     length = 8 + len(body)
-    header = struct.pack(
-        "!HHHH", datagram.src_port, datagram.dst_port, length, 0
-    )
+    header = _UDP_HEADER.pack(datagram.src_port, datagram.dst_port, length, 0)
     pseudo = pseudo_header(packet.src, packet.dst, PROTO_UDP, length)
     checksum = internet_checksum(pseudo + header + body)
     if checksum == 0:
         checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
-    header = header[:6] + struct.pack("!H", checksum)
+    header = header[:6] + _U16.pack(checksum)
     return header + body
 
 
 def _encode_tcp(packet, segment, probe_id):
     body = _payload_filler(segment.payload_size, probe_id)
-    header = struct.pack(
-        "!HHIIBBHHH",
+    header = _TCP_HEADER.pack(
         segment.src_port,
         segment.dst_port,
         segment.seq,
@@ -125,8 +164,17 @@ def _encode_tcp(packet, segment, probe_id):
     )
     pseudo = pseudo_header(packet.src, packet.dst, PROTO_TCP, len(header) + len(body))
     checksum = internet_checksum(pseudo + header + body)
-    header = header[:16] + struct.pack("!H", checksum) + header[18:]
+    header = header[:16] + _U16.pack(checksum) + header[18:]
     return header + body
+
+
+def _decode_address(raw):
+    cached = _address_cache.get(raw)
+    if cached is None:
+        cached = ipaddress.IPv4Address(raw)
+        if len(_address_cache) < _CACHE_LIMIT:
+            _address_cache[raw] = cached
+    return cached
 
 
 def decode_ipv4(data, allow_truncated=False):
@@ -138,23 +186,21 @@ def decode_ipv4(data, allow_truncated=False):
     cut short of its total-length field — needed for the header+8-bytes
     excerpt inside ICMP error messages.
     """
-    import ipaddress
-
     if len(data) < IPV4_HEADER_LEN:
         raise ValueError("truncated IPv4 header")
     version_ihl = data[0]
     if version_ihl >> 4 != 4:
         raise ValueError(f"not IPv4 (version={version_ihl >> 4})")
     ihl = (version_ihl & 0x0F) * 4
-    total_length = struct.unpack_from("!H", data, 2)[0]
+    total_length = _U16.unpack_from(data, 2)[0]
     if total_length > len(data):
         if not allow_truncated:
             raise ValueError("IPv4 total length exceeds buffer")
         total_length = len(data)
     ttl = data[8]
     protocol = data[9]
-    src = ipaddress.IPv4Address(data[12:16])
-    dst = ipaddress.IPv4Address(data[16:20])
+    src = _decode_address(data[12:16])
+    dst = _decode_address(data[16:20])
     body = data[ihl:total_length]
     payload, probe_id = _decode_transport(protocol, body)
     packet = Packet(src, dst, payload, ttl=ttl)
@@ -173,11 +219,14 @@ def _decode_transport(protocol, body):
     raise ValueError(f"unsupported protocol {protocol}")
 
 
+_FILLER_TAG = int.from_bytes(_FILLER * 8, "big")
+
+
 def _extract_probe_id(body):
     if len(body) >= 8:
-        tag = struct.unpack_from("!Q", body, 0)[0]
+        tag = _U64.unpack_from(body, 0)[0]
         # Filler-only payloads decode to the repeated filler pattern.
-        if tag != int.from_bytes(_FILLER * 8, "big"):
+        if tag != _FILLER_TAG:
             return tag
     return None
 
@@ -187,7 +236,7 @@ def _decode_icmp(body):
         raise ValueError("truncated ICMP header")
     icmp_type = body[0]
     if icmp_type in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
-        ident, seq = struct.unpack_from("!HH", body, 4)
+        ident, seq = _U16_PAIR.unpack_from(body, 4)
         payload = body[8:]
         echo = IcmpEcho(icmp_type, ident, seq, payload_size=len(payload))
         return echo, _extract_probe_id(payload)
@@ -200,7 +249,7 @@ def _decode_icmp(body):
 def _decode_udp(body):
     if len(body) < 8:
         raise ValueError("truncated UDP header")
-    src_port, dst_port, length = struct.unpack_from("!HHH", body, 0)
+    src_port, dst_port, length = _UDP_PORTS_LEN.unpack_from(body, 0)
     payload = body[8:length]
     datagram = UdpDatagram(src_port, dst_port, payload_size=len(payload))
     return datagram, _extract_probe_id(payload)
@@ -209,7 +258,7 @@ def _decode_udp(body):
 def _decode_tcp(body):
     if len(body) < 20:
         raise ValueError("truncated TCP header")
-    src_port, dst_port, seq, ack = struct.unpack_from("!HHII", body, 0)
+    src_port, dst_port, seq, ack = _TCP_PORTS_SEQ_ACK.unpack_from(body, 0)
     offset = (body[12] >> 4) * 4
     flags = body[13]
     payload = body[offset:]

@@ -115,8 +115,9 @@ class SdioBus:
         ):
             self._transition(BUS_ASLEEP)
             self.sleep_count += 1
-            self.sim.trace.record(self.sim.now, "sdio", "bus sleep",
-                                  bus=self.name)
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, "sdio", "bus sleep",
+                                      bus=self.name)
 
     def stop(self):
         """Stop the watchdog (simulation teardown)."""

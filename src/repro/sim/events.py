@@ -4,6 +4,12 @@ An :class:`Event` is a callable bound to a firing time.  Events sort by
 ``(time, seq)`` where ``seq`` is a monotonically increasing tie-breaker:
 two events scheduled for the same instant fire in scheduling order, which
 keeps runs deterministic without comparing callbacks.
+
+Events are the single hottest allocation in the simulator — every packet
+hop, timer tick, and backoff slot creates one — so the class is slotted,
+keeps an empty-kwargs fast path in :meth:`fire`, and carries the two
+bookkeeping fields (``owner``, ``in_heap``) that let the scheduler keep
+an O(1) live-event count under lazy heap deletion.
 """
 
 import itertools
@@ -19,16 +25,23 @@ class Event:
     :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "canceled", "label")
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "canceled", "label",
+                 "owner", "in_heap")
 
     def __init__(self, time, fn, args=(), kwargs=None, label=""):
         self.time = time
         self.seq = next(_SEQ)
         self.fn = fn
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = kwargs
         self.canceled = False
         self.label = label
+        # Scheduler bookkeeping (see Simulator): the owning scheduler and
+        # whether the event currently sits in its heap.  Together they let
+        # cancel() maintain the scheduler's canceled-in-heap counter so
+        # pending() never has to scan the heap.
+        self.owner = None
+        self.in_heap = False
 
     def cancel(self):
         """Mark the event so the scheduler skips it.
@@ -37,14 +50,25 @@ class Event:
         when popped.  Cancelling an already-fired or already-cancelled
         event is a harmless no-op.
         """
+        if self.canceled:
+            return
         self.canceled = True
+        if self.in_heap and self.owner is not None:
+            self.owner._canceled_in_heap += 1
 
     def fire(self):
         """Invoke the callback (scheduler use only)."""
-        self.fn(*self.args, **self.kwargs)
+        if self.kwargs:
+            self.fn(*self.args, **self.kwargs)
+        else:
+            self.fn(*self.args)
 
     def __lt__(self, other):
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Hand-rolled instead of tuple comparison: this runs O(log n)
+        # times per heap operation and avoids two tuple allocations.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self):
         state = "canceled" if self.canceled else "pending"

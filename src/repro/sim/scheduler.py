@@ -24,11 +24,17 @@ class Simulator:
         sim = Simulator(seed=7)
         sim.schedule(0.5, handler, arg)
         sim.run(until=10.0)
+
+    Cancelled events are removed lazily: :meth:`~repro.sim.events.Event.cancel`
+    marks the event and bumps :attr:`_canceled_in_heap`, the event is
+    discarded whenever it reaches the top of the heap, and :meth:`pending`
+    is the O(1) difference between the heap size and that counter.
     """
 
     def __init__(self, seed=0, trace=None):
         self._now = 0.0
         self._heap = []
+        self._canceled_in_heap = 0
         self._running = False
         self._stopped = False
         self.events_fired = 0
@@ -49,7 +55,13 @@ class Simulator:
         """
         if delay < 0:
             raise SimTimeError(f"negative delay {delay!r}")
-        return self.at(self._now + delay, fn, *args, label=label, **kwargs)
+        # Inlined self.at(): schedule() is the hottest entry point, called
+        # once per packet hop / timer tick, so it skips a call frame.
+        event = Event(self._now + delay, fn, args, kwargs, label=label)
+        event.owner = self
+        event.in_heap = True
+        heapq.heappush(self._heap, event)
+        return event
 
     def at(self, time, fn, *args, label="", **kwargs):
         """Schedule ``fn`` at an absolute simulated time."""
@@ -58,6 +70,8 @@ class Simulator:
                 f"cannot schedule at {time!r}; clock is already at {self._now!r}"
             )
         event = Event(time, fn, args, kwargs, label=label)
+        event.owner = self
+        event.in_heap = True
         heapq.heappush(self._heap, event)
         return event
 
@@ -69,17 +83,27 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
 
+    def _discard_head(self):
+        """Pop the (cancelled) head event and settle its accounting."""
+        event = heapq.heappop(self._heap)
+        event.in_heap = False
+        self._canceled_in_heap -= 1
+
     def peek(self):
         """Return the firing time of the next live event, or ``None``."""
-        while self._heap and self._heap[0].canceled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].canceled:
+            self._discard_head()
+        return heap[0].time if heap else None
 
     def step(self):
         """Fire exactly one event.  Returns ``False`` when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            event.in_heap = False
             if event.canceled:
+                self._canceled_in_heap -= 1
                 continue
             self._now = event.time
             self.events_fired += 1
@@ -90,23 +114,40 @@ class Simulator:
     def run(self, until=None):
         """Run events in time order.
 
-        With ``until`` set, the clock is advanced to exactly ``until`` when
-        the heap drains early or when the next event lies beyond it (the
-        event is left pending).  Without ``until``, runs until the heap is
-        empty.  Returns the final clock value.
+        Without ``until``, runs until the heap is empty.  With ``until``
+        set, the boundary is **inclusive**: every event whose firing time
+        is ``<= until`` fires — including events scheduled *at* exactly
+        ``until``, and any same-instant events they go on to schedule —
+        while events strictly beyond ``until`` are left pending.  After the
+        loop the clock is advanced to exactly ``until`` if it isn't there
+        already, so ``run(until=t)`` always returns with ``now == t`` (or
+        later, if a fired event was already at ``t``).  Returns the final
+        clock value.
         """
         if self._running:
             raise SchedulerError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
+            # The loop body is a manually fused peek()+step(): one pop per
+            # event instead of a scan-then-pop pair, no property reads.
+            while not self._stopped and heap:
+                event = heap[0]
+                if event.canceled:
+                    self._discard_head()
+                    continue
+                if until is not None and event.time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                heappop(heap)
+                event.in_heap = False
+                self._now = event.time
+                self.events_fired += 1
+                if event.kwargs:
+                    event.fn(*event.args, **event.kwargs)
+                else:
+                    event.fn(*event.args)
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -114,8 +155,12 @@ class Simulator:
         return self._now
 
     def pending(self):
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.canceled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): the heap length minus the lazily-deleted cancelled events
+        still parked in it.
+        """
+        return len(self._heap) - self._canceled_in_heap
 
     def __repr__(self):
         return (

@@ -6,6 +6,12 @@ something happened (e.g. "the bus demoted exactly once"), and the examples
 use them to narrate a measurement run.
 
 Recording is off by default so the hot path costs a single attribute check.
+Hot call sites should guard on :attr:`TraceRecorder.enabled` *before*
+calling :meth:`TraceRecorder.record` — that skips the call frame and the
+keyword-argument packing entirely when tracing is off::
+
+    if sim.trace.enabled:
+        sim.trace.record(sim.now, "sdio", "bus sleep", bus=self.name)
 """
 
 from collections import Counter
@@ -29,6 +35,8 @@ class TraceRecord:
 
 class TraceRecorder:
     """Collects :class:`TraceRecord` objects, optionally filtered by category."""
+
+    __slots__ = ("enabled", "categories", "limit", "records", "dropped")
 
     def __init__(self, enabled=True, categories=None, limit=None):
         self.enabled = enabled

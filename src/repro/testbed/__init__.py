@@ -7,14 +7,19 @@ generator, and instrumented phones.  :mod:`repro.testbed.experiments`
 provides the experiment runners the benchmarks are built on.
 """
 
+from repro.testbed.campaign import Campaign, CellResult
 from repro.testbed.experiments import (
     acutemon_experiment,
     ping_experiment,
     tool_comparison,
 )
+from repro.testbed.parallel import ParallelCampaignRunner
 from repro.testbed.topology import Testbed
 
 __all__ = [
+    "Campaign",
+    "CellResult",
+    "ParallelCampaignRunner",
     "Testbed",
     "acutemon_experiment",
     "ping_experiment",

@@ -4,7 +4,10 @@ A *campaign* is a grid of experiment cells (phone x emulated RTT x tool
 x scenario) run deterministically and collected into a serialisable
 result set — the structure behind "we run the full Table 5 sweep
 nightly" workflows.  Results round-trip through JSON so separate
-processes (or machines) can split the grid and merge.
+processes (or machines) can split the grid and merge; per-cell seeds
+make every cell independent, which is what lets
+:class:`~repro.testbed.parallel.ParallelCampaignRunner` shard the grid
+across worker processes with bit-identical output.
 """
 
 import itertools
@@ -59,6 +62,27 @@ class CellResult:
                 f"{self.tool} n={len(self.rtts)}>")
 
 
+def run_cell(phone, rtt, tool, cross_traffic, seed, count):
+    """Execute one campaign cell and return its :class:`CellResult`.
+
+    Module-level (rather than a Campaign method) so worker processes can
+    import and run cells without materialising a campaign object.
+    """
+    if tool == "acutemon":
+        result = acutemon_experiment(
+            phone, emulated_rtt=rtt, count=count, seed=seed,
+            cross_traffic=cross_traffic)
+        rtts = result.user_rtts
+        layers = dict(result.layers)
+    else:
+        comparison = tool_comparison(
+            phone, emulated_rtt=rtt, count=count, seed=seed,
+            cross_traffic=cross_traffic, tools=(tool,))
+        rtts = comparison[tool]
+        layers = {}
+    return CellResult(phone, rtt, tool, cross_traffic, seed, rtts, layers)
+
+
 class Campaign:
     """A deterministic grid of measurement cells."""
 
@@ -73,6 +97,26 @@ class Campaign:
         self.base_seed = base_seed
         self.results = []
 
+    @property
+    def results(self):
+        return self._results
+
+    @results.setter
+    def results(self, value):
+        # Assigning the result list (run(), load(), merged_with(), tests)
+        # rebuilds the key index so result_for() stays O(1) and
+        # consistent.  First occurrence wins on duplicate keys, matching
+        # the linear scan this index replaced.
+        self._results = list(value)
+        index = {}
+        for result in self._results:
+            index.setdefault(result.key(), result)
+        self._index = index
+
+    def _append_result(self, result):
+        self._results.append(result)
+        self._index.setdefault(result.key(), result)
+
     def cells(self):
         """The full grid, in deterministic order, with per-cell seeds."""
         grid = itertools.product(self.phones, self.rtts, self.tools,
@@ -80,28 +124,29 @@ class Campaign:
         for index, (phone, rtt, tool, cross) in enumerate(grid):
             yield phone, rtt, tool, cross, self.base_seed + index * 7919
 
-    def run(self, progress=None):
-        """Execute every cell; returns the result list."""
-        self.results = []
-        for phone, rtt, tool, cross, seed in self.cells():
-            if progress is not None:
-                progress(phone, rtt, tool, cross)
-            if tool == "acutemon":
-                result = acutemon_experiment(
-                    phone, emulated_rtt=rtt, count=self.count, seed=seed,
-                    cross_traffic=cross)
-                rtts = result.user_rtts
-                layers = {name: values
-                          for name, values in result.layers.items()}
-            else:
-                comparison = tool_comparison(
-                    phone, emulated_rtt=rtt, count=self.count, seed=seed,
-                    cross_traffic=cross, tools=(tool,))
-                rtts = comparison[tool]
-                layers = {}
-            self.results.append(CellResult(phone, rtt, tool, cross, seed,
-                                           rtts, layers))
-        return self.results
+    def run(self, progress=None, workers=1, chunk_size=None):
+        """Execute every cell; returns the result list.
+
+        ``workers=1`` (the default) runs in-process and serially.  Any
+        other value delegates to
+        :class:`~repro.testbed.parallel.ParallelCampaignRunner`, which
+        shards the grid across a process pool (``workers=None`` means
+        one worker per CPU) and produces bit-identical results in the
+        same deterministic order.  ``chunk_size`` tunes how many cells
+        each pool task carries.
+        """
+        if workers == 1:
+            self.results = []
+            for phone, rtt, tool, cross, seed in self.cells():
+                if progress is not None:
+                    progress(phone, rtt, tool, cross)
+                self._append_result(
+                    run_cell(phone, rtt, tool, cross, seed, self.count))
+            return self._results
+        from repro.testbed.parallel import ParallelCampaignRunner
+        runner = ParallelCampaignRunner(self, workers=workers,
+                                        chunk_size=chunk_size)
+        return runner.run(progress=progress)
 
     # -- persistence ----------------------------------------------------------
 
@@ -136,10 +181,7 @@ class Campaign:
     # -- queries ------------------------------------------------------------------
 
     def result_for(self, phone, rtt, tool, cross_traffic=False):
-        for result in self.results:
-            if result.key() == (phone, rtt, tool, cross_traffic):
-                return result
-        return None
+        return self._index.get((phone, rtt, tool, cross_traffic))
 
     def worst_error(self):
         """(CellResult, error) for the least accurate cell."""

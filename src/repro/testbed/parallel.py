@@ -1,0 +1,165 @@
+"""Parallel campaign execution.
+
+A campaign grid is embarrassingly parallel: :meth:`Campaign.cells`
+assigns every cell its own seed, each cell builds a private testbed and
+simulator, and results serialise through JSON.  The
+:class:`ParallelCampaignRunner` exploits that by sharding the cell list
+across a ``multiprocessing`` pool:
+
+* cells are grouped into deterministic, contiguous *shards* (chunked
+  dispatch keeps per-task overhead low while still load-balancing),
+* pool workers are long-lived and reused across shards,
+* each worker returns ``CellResult.to_dict()`` payloads — the same JSON
+  round-trip :meth:`Campaign.save`/:meth:`Campaign.load` use — so the
+  merged output is byte-identical to a serial run,
+* shard results are merged back in grid order regardless of which worker
+  finished first, and
+* execution degrades gracefully to the in-process serial path when
+  ``workers=1``, the grid is tiny, or the platform cannot start worker
+  processes.
+
+Determinism: a cell's outcome depends only on its ``(phone, rtt, tool,
+cross_traffic, seed)`` tuple — never on process-global state shared
+between cells — so ``run(workers=N)`` produces results whose
+``to_dict()`` payloads are identical for every ``N``.  The test suite
+pins this (``tests/test_parallel_campaign.py``).
+"""
+
+import math
+import multiprocessing
+import os
+
+from repro.testbed.campaign import CellResult, run_cell
+
+#: Shards-per-worker used when no explicit chunk size is given: small
+#: enough to amortise task dispatch, large enough that a slow cell does
+#: not serialise the tail of the run.
+_CHUNKS_PER_WORKER = 4
+
+
+def _run_shard(task):
+    """Pool task: run a shard of cells, return JSON-ready dicts.
+
+    Module-level so it pickles under every start method (fork or spawn).
+    """
+    count, cells = task
+    return [run_cell(phone, rtt, tool, cross, seed, count).to_dict()
+            for phone, rtt, tool, cross, seed in cells]
+
+
+def default_worker_count():
+    """One worker per CPU (at least one)."""
+    return os.cpu_count() or 1
+
+
+class ParallelCampaignRunner:
+    """Shard a :class:`~repro.testbed.campaign.Campaign` across processes.
+
+    Parameters
+    ----------
+    campaign:
+        The campaign whose grid should be executed.  Its ``results`` are
+        replaced by :meth:`run`.
+    workers:
+        Worker process count.  ``None`` means one per CPU; values are
+        clamped to the number of cells.  ``workers <= 1`` runs serially
+        in-process.
+    chunk_size:
+        Cells per pool task.  Default: grid split into about
+        ``workers * 4`` contiguous shards.
+    start_method:
+        ``multiprocessing`` start method to prefer.  Default: ``fork``
+        when the platform offers it (cheapest), otherwise the platform
+        default.  If the pool cannot be created at all, the runner falls
+        back to serial execution instead of failing the sweep.
+    """
+
+    def __init__(self, campaign, workers=None, chunk_size=None,
+                 start_method=None):
+        self.campaign = campaign
+        self.workers = default_worker_count() if workers is None else workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        #: "parallel" or "serial" after run(); None before.
+        self.mode = None
+
+    # -- sharding -------------------------------------------------------------
+
+    def shards(self, cells=None):
+        """Split the grid into deterministic contiguous chunks."""
+        if cells is None:
+            cells = list(self.campaign.cells())
+        if not cells:
+            return []
+        size = self.chunk_size
+        if size is None:
+            workers = max(1, self.workers)
+            size = max(1, math.ceil(len(cells) /
+                                    (workers * _CHUNKS_PER_WORKER)))
+        return [cells[start:start + size]
+                for start in range(0, len(cells), size)]
+
+    def _pool_context(self):
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            if self.start_method is not None:
+                if self.start_method not in methods:
+                    return None
+                return multiprocessing.get_context(self.start_method)
+            if "fork" in methods:
+                return multiprocessing.get_context("fork")
+            return multiprocessing.get_context()
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            return None
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_serial(self, cells, progress):
+        results = []
+        for phone, rtt, tool, cross, seed in cells:
+            if progress is not None:
+                progress(phone, rtt, tool, cross)
+            results.append(
+                run_cell(phone, rtt, tool, cross, seed,
+                         self.campaign.count))
+        return results
+
+    def run(self, progress=None):
+        """Execute the grid and install the merged results.
+
+        ``progress(phone, rtt, tool, cross_traffic)`` is invoked once
+        per cell: before the cell runs when serial, as each shard's
+        results are merged when parallel.  Returns the result list (also
+        assigned to ``campaign.results``, in grid order).
+        """
+        campaign = self.campaign
+        cells = list(campaign.cells())
+        workers = min(self.workers, len(cells))
+        pool_context = self._pool_context() if workers > 1 else None
+        if workers <= 1 or pool_context is None:
+            self.mode = "serial"
+            results = self._run_serial(cells, progress)
+        else:
+            self.mode = "parallel"
+            shards = self.shards(cells)
+            count = campaign.count
+            results = []
+            try:
+                with pool_context.Pool(processes=workers) as pool:
+                    # imap (not imap_unordered) keeps grid order while
+                    # still streaming finished shards for progress.
+                    tasks = [(count, shard) for shard in shards]
+                    for payloads in pool.imap(_run_shard, tasks):
+                        for payload in payloads:
+                            result = CellResult.from_dict(payload)
+                            if progress is not None:
+                                progress(result.phone, result.rtt,
+                                         result.tool, result.cross_traffic)
+                            results.append(result)
+            except OSError:
+                # Process creation failed mid-flight (fork limits,
+                # sandboxed platforms): degrade to the serial path.
+                self.mode = "serial"
+                results = self._run_serial(cells, progress)
+        campaign.results = results
+        return campaign.results

@@ -1,0 +1,191 @@
+"""Tests for the parallel campaign runner.
+
+The load-bearing property is *bit-identical determinism*: a sharded
+multi-process run must produce exactly the results of the serial path,
+cell for cell, byte for byte, for any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.testbed.campaign import Campaign, CellResult, run_cell
+from repro.testbed.parallel import ParallelCampaignRunner, _run_shard
+
+
+def small_grid(**overrides):
+    """A fast 2x2x2 grid (8 cells, 3 probes each)."""
+    params = dict(phones=("nexus5", "nexus4"), rtts=(0.02, 0.05),
+                  tools=("acutemon", "ping"), count=3)
+    params.update(overrides)
+    return Campaign(**params)
+
+
+def serialized(campaign):
+    return json.dumps([result.to_dict() for result in campaign.results],
+                      sort_keys=True)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        baseline = small_grid()
+        baseline.run(workers=1)
+        reference = serialized(baseline)
+        for workers in (2, 4):
+            campaign = small_grid()
+            campaign.run(workers=workers)
+            assert serialized(campaign) == reference, (
+                f"workers={workers} diverged from serial run")
+
+    def test_parallel_preserves_grid_order(self):
+        campaign = small_grid()
+        campaign.run(workers=4)
+        expected = [(phone, rtt, tool, cross)
+                    for phone, rtt, tool, cross, _ in campaign.cells()]
+        assert [result.key() for result in campaign.results] == expected
+
+    def test_run_cell_matches_campaign_cell(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        campaign.run()
+        (cell,) = campaign.cells()
+        direct = run_cell(*cell, count=campaign.count)
+        assert direct.to_dict() == campaign.results[0].to_dict()
+
+
+class TestSharding:
+    def test_shards_cover_grid_in_order(self):
+        campaign = small_grid()
+        runner = ParallelCampaignRunner(campaign, workers=2)
+        cells = list(campaign.cells())
+        shards = runner.shards()
+        flattened = [cell for shard in shards for cell in shard]
+        assert flattened == cells
+        assert all(shard for shard in shards)
+
+    def test_explicit_chunk_size(self):
+        campaign = small_grid()
+        runner = ParallelCampaignRunner(campaign, workers=2, chunk_size=3)
+        assert [len(shard) for shard in runner.shards()] == [3, 3, 2]
+
+    def test_empty_grid(self):
+        campaign = small_grid(phones=())
+        runner = ParallelCampaignRunner(campaign, workers=4)
+        assert runner.shards() == []
+        assert runner.run() == []
+        assert campaign.results == []
+
+    def test_single_cell(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        results = campaign.run(workers=4)
+        assert len(results) == 1
+        assert results[0].key() == ("nexus5", 0.02, "ping", False)
+
+    def test_more_workers_than_cells(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02, 0.05),
+                              tools=("ping",))
+        reference = small_grid(phones=("nexus5",), rtts=(0.02, 0.05),
+                               tools=("ping",))
+        reference.run(workers=1)
+        campaign.run(workers=16)
+        assert serialized(campaign) == serialized(reference)
+
+    def test_run_shard_round_trips_payloads(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        cells = list(campaign.cells())
+        payloads = _run_shard((campaign.count, cells))
+        assert len(payloads) == 1
+        restored = CellResult.from_dict(payloads[0])
+        assert restored.key() == ("nexus5", 0.02, "ping", False)
+        assert len(restored.rtts) == campaign.count
+
+
+class TestFallbacksAndProgress:
+    def test_unavailable_start_method_falls_back_to_serial(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        runner = ParallelCampaignRunner(campaign, workers=4,
+                                        start_method="not-a-start-method")
+        results = runner.run()
+        assert runner.mode == "serial"
+        assert len(results) == 1
+
+    def test_workers_one_runs_in_process(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        runner = ParallelCampaignRunner(campaign, workers=1)
+        runner.run()
+        assert runner.mode == "serial"
+
+    def test_progress_called_once_per_cell_parallel(self):
+        campaign = small_grid(tools=("ping",))
+        seen = []
+        campaign.run(workers=2, progress=lambda *cell: seen.append(cell))
+        assert sorted(seen) == sorted(
+            (phone, rtt, tool, cross)
+            for phone, rtt, tool, cross, _ in campaign.cells())
+
+    def test_campaign_run_workers_none_uses_cpu_count(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        reference = small_grid(phones=("nexus5",), rtts=(0.02,),
+                               tools=("ping",))
+        reference.run()
+        campaign.run(workers=None)
+        assert serialized(campaign) == serialized(reference)
+
+
+class TestResultIndex:
+    def test_result_for_after_run(self):
+        campaign = small_grid(tools=("ping",))
+        campaign.run()
+        result = campaign.result_for("nexus4", 0.05, "ping")
+        assert result is not None
+        assert result.key() == ("nexus4", 0.05, "ping", False)
+        assert campaign.result_for("nexus4", 0.05, "acutemon") is None
+
+    def test_result_for_after_direct_assignment(self):
+        campaign = Campaign(count=3)
+        campaign.results = [CellResult("nexus5", 0.03, "ping", False, 0,
+                                       [0.031])]
+        assert campaign.result_for("nexus5", 0.03, "ping").rtts == [0.031]
+
+    def test_result_for_after_merge(self):
+        first = Campaign(count=3)
+        first.results = [CellResult("nexus5", 0.03, "ping", False, 0,
+                                    [0.031])]
+        second = Campaign(count=3)
+        second.results = [CellResult("nexus4", 0.03, "ping", False, 1,
+                                     [0.032])]
+        merged = first.merged_with(second)
+        assert merged.result_for("nexus4", 0.03, "ping").seed == 1
+        assert merged.result_for("nexus5", 0.03, "ping").seed == 0
+
+    def test_result_for_after_load(self, tmp_path):
+        campaign = Campaign(count=3)
+        campaign.results = [CellResult("nexus5", 0.03, "ping", False, 0,
+                                       [0.031])]
+        path = tmp_path / "campaign.json"
+        campaign.save(path)
+        loaded = Campaign.load(path)
+        assert loaded.result_for("nexus5", 0.03, "ping").rtts == [0.031]
+
+    def test_first_result_wins_on_duplicate_keys(self):
+        campaign = Campaign(count=3)
+        campaign.results = [
+            CellResult("nexus5", 0.03, "ping", False, 0, [0.031]),
+            CellResult("nexus5", 0.03, "ping", False, 9, [0.099]),
+        ]
+        assert campaign.result_for("nexus5", 0.03, "ping").seed == 0
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_acceptance_grid_is_stable(workers):
+    """The ISSUE's acceptance grid: 2x2x2 cells, any worker count."""
+    campaign = small_grid()
+    campaign.run(workers=workers)
+    assert len(campaign.results) == 8
+    for result in campaign.results:
+        assert len(result.rtts) == 3

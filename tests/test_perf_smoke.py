@@ -1,0 +1,118 @@
+"""Fast performance smoke checks (``-m perf_smoke``).
+
+Single-round miniatures of the three ``benchmarks/test_bench_simulator_perf``
+benches.  They run inside tier-1 so a gross event-loop, wire-encoding, or
+campaign regression (an accidental O(n) scan, a dropped cache) fails fast
+without the full pytest-benchmark suite.  The floors are set ~20x below
+current throughput: they only trip on order-of-magnitude regressions,
+never on machine noise.
+
+The measured rates are written to ``BENCH_simulator.json`` at the repo
+root — the start of the perf trajectory tracked across PRs.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.net import wire
+from repro.net.addresses import ip
+from repro.net.packet import IcmpEcho, Packet, TcpSegment, UdpDatagram
+from repro.sim.scheduler import Simulator
+from repro.testbed.campaign import Campaign
+
+_BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_simulator.json"
+
+_EVENTS = 20_000
+_WIRE_ROUND_TRIPS = 600
+_CAMPAIGN_CELLS = 2
+
+# Same workloads run against the growth-seed commit on the reference
+# container (1 CPU, CPython 3.11) — the denominator of the perf
+# trajectory.  Informational only; the floors below are what gate.
+_SEED_BASELINE = {
+    "scheduler_events_per_sec": 644_621.0,
+    "wire_round_trips_per_sec": 34_739.0,
+}
+
+_rates = {}
+
+
+def _rate(units, fn):
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    return units / elapsed if elapsed > 0 else float("inf")
+
+
+@pytest.mark.perf_smoke
+def test_smoke_scheduler_event_rate():
+    def run():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < _EVENTS:
+                sim.schedule(1e-4, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count[0] == _EVENTS
+
+    _rates["scheduler_events_per_sec"] = _rate(_EVENTS, run)
+    assert _rates["scheduler_events_per_sec"] > 50_000
+
+
+@pytest.mark.perf_smoke
+def test_smoke_wire_round_trip_rate():
+    packets = [
+        Packet(ip("10.0.0.1"), ip("10.0.0.2"), IcmpEcho(8, 1, 1, 56),
+               meta={"probe_id": 1}),
+        Packet(ip("10.0.0.1"), ip("10.0.0.2"), UdpDatagram(1000, 2000, 512),
+               meta={"probe_id": 2}),
+        Packet(ip("10.0.0.1"), ip("10.0.0.2"),
+               TcpSegment(1000, 80, 5, 9, 0x18, 1024),
+               meta={"probe_id": 3}),
+    ]
+
+    def run():
+        for _ in range(_WIRE_ROUND_TRIPS // len(packets)):
+            for packet in packets:
+                wire.decode_ipv4(wire.encode_ipv4(packet))
+
+    _rates["wire_round_trips_per_sec"] = _rate(_WIRE_ROUND_TRIPS, run)
+    assert _rates["wire_round_trips_per_sec"] > 5_000
+
+
+@pytest.mark.perf_smoke
+def test_smoke_campaign_cell_rate():
+    campaign = Campaign(phones=("nexus5",), rtts=(0.02, 0.05),
+                        tools=("ping",), count=3)
+
+    def run():
+        campaign.run(workers=1)
+        assert len(campaign.results) == _CAMPAIGN_CELLS
+
+    _rates["campaign_cells_per_sec"] = _rate(_CAMPAIGN_CELLS, run)
+    assert _rates["campaign_cells_per_sec"] > 1
+
+
+@pytest.mark.perf_smoke
+def test_smoke_emits_bench_json():
+    """Persist the rates measured above (runs last in this module)."""
+    assert set(_rates) == {"scheduler_events_per_sec",
+                           "wire_round_trips_per_sec",
+                           "campaign_cells_per_sec"}
+    payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
+    payload["seed_baseline"] = _SEED_BASELINE
+    payload["workload"] = {
+        "scheduler_events": _EVENTS,
+        "wire_round_trips": _WIRE_ROUND_TRIPS,
+        "campaign_cells": _CAMPAIGN_CELLS,
+    }
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    assert json.loads(_BENCH_PATH.read_text())

@@ -103,6 +103,86 @@ class TestRunControl:
         assert sim.events_fired == 5
 
 
+class TestUntilBoundary:
+    """run(until=...) is inclusive: events at exactly ``until`` fire."""
+
+    def test_event_at_exactly_until_fires(self, sim):
+        fired = []
+        sim.at(1.0, fired.append, "boundary")
+        sim.run(until=1.0)
+        assert fired == ["boundary"]
+        assert sim.now == 1.0
+
+    def test_same_instant_followups_at_until_also_fire(self, sim):
+        fired = []
+
+        def boundary():
+            fired.append("first")
+            sim.call_soon(fired.append, "second")
+
+        sim.at(1.0, boundary)
+        sim.run(until=1.0)
+        assert fired == ["first", "second"]
+        assert sim.pending() == 0
+
+    def test_event_just_past_until_stays_pending(self, sim):
+        fired = []
+        sim.at(1.0, fired.append, "in")
+        sim.at(1.0 + 1e-9, fired.append, "out")
+        sim.run(until=1.0)
+        assert fired == ["in"]
+        assert sim.pending() == 1
+        assert sim.now == 1.0
+
+    def test_clock_never_passes_until(self, sim):
+        sim.at(0.25, lambda: None)
+        assert sim.run(until=2.0) == 2.0
+        assert sim.now == 2.0
+
+
+class TestPendingAccounting:
+    """pending() is O(1) bookkeeping, so pin its edge cases."""
+
+    def test_pending_counts_only_live_events(self, sim):
+        events = [sim.schedule(0.1 * i, lambda: None) for i in range(1, 6)]
+        assert sim.pending() == 5
+        events[0].cancel()
+        events[3].cancel()
+        assert sim.pending() == 3
+
+    def test_cancel_after_fire_does_not_corrupt_count(self, sim):
+        event = sim.schedule(0.1, lambda: None)
+        keep = sim.schedule(0.2, lambda: None)
+        sim.run(until=0.15)
+        event.cancel()  # already fired: harmless no-op
+        assert sim.pending() == 1
+        keep.cancel()
+        assert sim.pending() == 0
+
+    def test_double_cancel_counts_once(self, sim):
+        event = sim.schedule(0.5, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_pending_drains_through_run(self, sim):
+        canceled = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        canceled.cancel()
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_fired == 1
+
+    def test_step_discards_cancelled_then_fires_live(self, sim):
+        fired = []
+        dead = sim.schedule(0.1, fired.append, "dead")
+        sim.schedule(0.2, fired.append, "live")
+        dead.cancel()
+        assert sim.step() is True
+        assert fired == ["live"]
+        assert sim.pending() == 0
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self, sim):
         fired = []
