@@ -25,12 +25,14 @@ from repro.core.calibration import TimerCalibrator
 from repro.core.measurement import ProbeCollector
 from repro.core.overhead import decompose
 from repro.core.warmup import WarmupPolicy
+from repro.obs import MetricsRegistry, enable_observability
 from repro.phone.profiles import PHONES, phone_profile
 from repro.testbed.experiments import (
     acutemon_experiment,
     ping2_experiment,
     ping_experiment,
     tool_comparison,
+    tool_experiment,
 )
 from repro.testbed.topology import Testbed
 
@@ -39,6 +41,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AcuteMon",
     "AcuteMonConfig",
+    "MetricsRegistry",
     "PHONES",
     "ProbeCollector",
     "Testbed",
@@ -46,9 +49,11 @@ __all__ = [
     "WarmupPolicy",
     "acutemon_experiment",
     "decompose",
+    "enable_observability",
     "phone_profile",
     "ping2_experiment",
     "ping_experiment",
     "tool_comparison",
+    "tool_experiment",
     "__version__",
 ]

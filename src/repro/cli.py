@@ -107,6 +107,7 @@ def cmd_ping2(args):
 
 
 def cmd_campaign(args):
+    from repro.obs import write_snapshot
     from repro.testbed.campaign import Campaign
 
     campaign = Campaign(
@@ -117,6 +118,7 @@ def cmd_campaign(args):
     verb = "running" if workers == 1 else "finished"
     campaign.run(
         workers=workers,
+        collect_metrics=bool(args.metrics_out),
         progress=lambda phone, rtt, tool, cross: print(
             f"  {verb} {phone} @ {rtt * 1e3:.0f}ms with {tool}..."))
     table = Table(["Phone", "RTT", "Tool", "median (ms)",
@@ -131,6 +133,41 @@ def cmd_campaign(args):
     if args.out:
         campaign.save(args.out)
         print(f"saved to {args.out}")
+    if args.metrics_out:
+        merged = campaign.merged_metrics()
+        fmt = write_snapshot(args.metrics_out, merged)
+        print(f"wrote merged metrics ({fmt}) to {args.metrics_out}")
+
+
+def cmd_obs(args):
+    from repro.obs import write_chrome_trace, write_snapshot
+    from repro.testbed.experiments import tool_experiment
+
+    result = tool_experiment(
+        args.tool, args.phone, emulated_rtt=args.rtt * 1e-3,
+        count=args.count, seed=args.seed, observe=True)
+    snapshot = result.metrics_snapshot()
+    sim = result.testbed.sim
+    print(f"observed one {args.tool} cell on {args.phone} @ "
+          f"{args.rtt:.0f}ms: {sim.events_fired} events fired, "
+          f"{len(sim.spans)} spans, {len(sim.trace.records)} trace records")
+    for metric in sim.metrics.metrics():
+        if metric.kind != "histogram" or not metric.count:
+            continue
+        labels = "".join(f" {k}={v}" for k, v in sorted(metric.labels))
+        print(f"  {metric.name}{labels}: n={metric.count} "
+              f"p50={metric.p50 * 1e3:.3f}ms p95={metric.p95 * 1e3:.3f}ms "
+              f"p99={metric.p99 * 1e3:.3f}ms")
+    if args.out:
+        prefix = args.out
+        written = [
+            write_snapshot(f"{prefix}.prom", snapshot),
+            write_snapshot(f"{prefix}.jsonl", snapshot),
+        ]
+        write_chrome_trace(f"{prefix}.trace.json", sim.spans)
+        written.append("chrome-trace")
+        print(f"wrote {prefix}.prom, {prefix}.jsonl and {prefix}.trace.json "
+              f"({', '.join(written)})")
 
 
 def cmd_phones(_args):
@@ -154,6 +191,7 @@ COMMANDS = {
     "compare": (cmd_compare, "tool comparison CDFs (Figure 8)"),
     "ping2": (cmd_ping2, "ping2 vs AcuteMon error sweep"),
     "campaign": (cmd_campaign, "run a phone x RTT x tool grid"),
+    "obs": (cmd_obs, "run one observed cell and export its metrics"),
     "phones": (cmd_phones, "list the modelled phone profiles"),
 }
 
@@ -173,7 +211,7 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
     for name, (_fn, help_text) in COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
-        if name in ("overheads", "compare", "ping2"):
+        if name in ("overheads", "compare", "ping2", "obs"):
             cmd.add_argument("--phone", default="nexus5",
                              choices=sorted(PHONES))
         if name == "compare":
@@ -181,6 +219,14 @@ def build_parser():
                              help="emulated RTT in ms (default 30)")
             cmd.add_argument("--cross-traffic", action="store_true",
                              help="congest the WLAN with iPerf load")
+        if name == "obs":
+            cmd.add_argument("--rtt", type=float, default=30.0,
+                             help="emulated RTT in ms (default 30)")
+            cmd.add_argument("--tool", default="acutemon",
+                             help="tool to observe (default acutemon)")
+            cmd.add_argument("--out", default=None, metavar="PREFIX",
+                             help="write PREFIX.prom, PREFIX.jsonl and "
+                                  "PREFIX.trace.json")
         if name == "campaign":
             cmd.add_argument("--phones", nargs="+", default=["nexus5"],
                              choices=sorted(PHONES))
@@ -197,6 +243,10 @@ def build_parser():
                                   "(default 1 = serial; 0 or negative = "
                                   "one per CPU; results are bit-identical "
                                   "either way)")
+            cmd.add_argument("--metrics-out", default=None, metavar="PATH",
+                             help="run cells observed and write the merged "
+                                  "metrics snapshot (.jsonl = JSON lines, "
+                                  "anything else = Prometheus text)")
     return parser
 
 

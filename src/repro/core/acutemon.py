@@ -152,6 +152,8 @@ class AcuteMon:
         record = self.collector.new_probe(kind="warmup")
         meta = self.collector.meta_for(record)
         self.warmups_sent += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.inc("acutemon_warmup_packets_total")
         self.phone.user_send(lambda: self.phone.stack.send_udp(
             self.target_ip, self.config.warmup_port,
             payload_size=self.config.background_payload,
@@ -164,6 +166,8 @@ class AcuteMon:
         record = self.collector.new_probe(kind="background")
         meta = self.collector.meta_for(record)
         self.background_sent += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.inc("acutemon_background_packets_total")
         self.phone.user_send(lambda: self.phone.stack.send_udp(
             self.target_ip, self.config.warmup_port,
             payload_size=self.config.background_payload,
@@ -266,6 +270,14 @@ class AcuteMon:
         now = self.sim.now
         self.collector.record_user_recv(probe_id, now)
         self.results.append(ProbeOutcome(probe_id, t0, now - t0))
+        if self.sim.spans.enabled:
+            self.sim.spans.record("measurement.probe", t0, now,
+                                  probe_id=probe_id,
+                                  method=self.config.probe_method,
+                                  outcome="ok")
+        if self.sim.metrics.enabled:
+            self.sim.metrics.inc("acutemon_probes_total",
+                                 labels={"outcome": "ok"})
         if self.config.probe_gap > 0:
             self.sim.schedule(self.config.probe_gap, self._next_probe,
                               label=f"{self.name}-gap")
@@ -280,6 +292,14 @@ class AcuteMon:
         self._pending = None
         self.collector.record_timeout(probe_id)
         self.results.append(ProbeOutcome(probe_id, t0, None))
+        if self.sim.spans.enabled:
+            self.sim.spans.record("measurement.probe", t0, self.sim.now,
+                                  probe_id=probe_id,
+                                  method=self.config.probe_method,
+                                  outcome="timeout")
+        if self.sim.metrics.enabled:
+            self.sim.metrics.inc("acutemon_probes_total",
+                                 labels={"outcome": "timeout"})
         self._next_probe()
 
     # -- reporting ------------------------------------------------------------

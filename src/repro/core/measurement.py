@@ -151,10 +151,37 @@ class ProbeCollector:
         self._records[probe_id].user_send = time
 
     def record_user_recv(self, probe_id, time):
-        self._records[probe_id].user_recv = time
+        record = self._records[probe_id]
+        record.user_recv = time
+        if self.sim.metrics.enabled:
+            self._observe_record(record)
 
     def record_timeout(self, probe_id):
         self._records[probe_id].timed_out = True
+        if self.sim.metrics.enabled:
+            self.sim.metrics.inc("probe_timeouts_total",
+                                 labels={"kind": self._records[probe_id].kind})
+
+    def _observe_record(self, record):
+        """Feed one completed probe's layered RTTs into the registry.
+
+        The headline number is the *inflation* ``du - dn`` — how much the
+        user-level RTT exceeds what was actually on the air, i.e. the
+        delay the paper attributes to the phone.
+        """
+        metrics = self.sim.metrics
+        labels = {"kind": record.kind}
+        du = record.du
+        if du is not None:
+            metrics.observe("probe_du_seconds",  # obs: caller-guarded
+                            du, labels=labels)
+        dn = record.dn
+        if dn is not None:
+            metrics.observe("probe_dn_seconds",  # obs: caller-guarded
+                            dn, labels=labels)
+        if du is not None and dn is not None:
+            metrics.observe("probe_inflation_seconds",  # obs: caller-guarded
+                            du - dn, labels=labels)
 
     # -- kernel tap ---------------------------------------------------------
 

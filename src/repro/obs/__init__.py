@@ -1,0 +1,80 @@
+"""Unified observability: metrics, timed spans, exporters.
+
+Every :class:`~repro.sim.scheduler.Simulator` carries three recording
+facilities, all disabled by default so the hot path stays one attribute
+check per call site:
+
+* ``sim.trace`` — structured event records
+  (:class:`~repro.sim.trace.TraceRecorder`),
+* ``sim.metrics`` — counters / gauges / latency histograms
+  (:class:`~repro.obs.metrics.MetricsRegistry`),
+* ``sim.spans`` — named sim-time intervals that feed both of the above
+  (:class:`~repro.obs.spans.SpanTracker`).
+
+Flip them all on with :func:`enable_observability`, run the experiment,
+then export through :mod:`repro.obs.export` (JSON-lines, Prometheus
+text, Chrome trace-event JSON).  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    write_chrome_trace,
+    write_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.spans import Span, SpanTracker, span_metric_name
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracker",
+    "enable_observability",
+    "finalize_sim_metrics",
+    "merge_snapshots",
+    "span_metric_name",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_snapshot",
+]
+
+
+def enable_observability(sim, trace=True, metrics=True, spans=True):
+    """Switch a simulator's recording facilities on; returns ``sim``."""
+    if trace:
+        sim.trace.enabled = True
+    if metrics:
+        sim.metrics.enabled = True
+    if spans:
+        sim.spans.enabled = True
+    return sim
+
+
+def finalize_sim_metrics(sim):
+    """Push end-of-run scheduler gauges into the registry.
+
+    Call after the simulation settles (experiment runners do this before
+    snapshotting) so totals that live as plain attributes on the
+    simulator appear alongside the instrumented metrics.
+    """
+    if not sim.metrics.enabled:
+        return
+    metrics = sim.metrics
+    metrics.set_gauge("scheduler_events_fired", sim.events_fired)
+    metrics.set_gauge("scheduler_events_canceled", sim.events_canceled)
+    metrics.set_gauge("scheduler_pending_events", sim.pending())
+    metrics.set_gauge("sim_clock_seconds", sim.now)

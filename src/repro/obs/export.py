@@ -1,0 +1,124 @@
+"""Exporters: JSON-lines, Prometheus text, Chrome trace-event JSON.
+
+All three work from plain data — a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict for metrics and
+an iterable of :class:`~repro.obs.spans.Span` for timelines — so they
+export merged campaign snapshots exactly as they export a live registry.
+
+The Chrome trace output loads directly into ``chrome://tracing`` (or
+https://ui.perfetto.dev): each span category (``sdio``, ``psm``,
+``measurement``, ...) becomes one named track, and the bus/PSM/probe
+spans line up to reconstruct the paper's delay decomposition — a probe
+span visibly covering an ``sdio.promotion`` or ``psm.buffered`` span
+*is* the inflation being explained.
+"""
+
+import json
+
+
+def _fmt(value):
+    """Prometheus number formatting (ints without a trailing .0)."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float)
+                                  and value == int(value)):
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labels, extra=None):
+    items = dict(labels)
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{items[key]}"' for key in sorted(items))
+    return "{" + body + "}"
+
+
+def to_jsonl(snapshot):
+    """One JSON object per line, one line per metric."""
+    lines = [json.dumps(entry, sort_keys=True)
+             for entry in snapshot.get("metrics", ())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus(snapshot):
+    """Prometheus text exposition format (version 0.0.4)."""
+    lines = []
+    typed = set()
+    for entry in snapshot.get("metrics", ()):
+        name, kind, labels = entry["name"], entry["kind"], entry["labels"]
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_label_str(labels)} {_fmt(entry['value'])}")
+            continue
+        cumulative = 0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            lines.append(f"{name}_bucket"
+                         f"{_label_str(labels, {'le': _fmt(bound)})} "
+                         f"{cumulative}")
+        lines.append(f"{name}_bucket{_label_str(labels, {'le': '+Inf'})} "
+                     f"{entry['count']}")
+        lines.append(f"{name}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
+        lines.append(f"{name}_count{_label_str(labels)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome_trace(spans, pid=0):
+    """Chrome trace-event JSON (the ``traceEvents`` array format).
+
+    Spans become complete ("X") events; each span category gets its own
+    tid with a ``thread_name`` metadata event so ``chrome://tracing``
+    shows one labelled track per subsystem.  Timestamps are microseconds
+    of simulated time.
+    """
+    events = []
+    tids = {}
+    for span in spans:
+        category = span.category
+        tid = tids.get(category)
+        if tid is None:
+            tid = tids[category] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": category},
+            })
+        events.append({
+            "name": span.name, "cat": category, "ph": "X",
+            "ts": span.start * 1e6, "dur": (span.end - span.start) * 1e6,
+            "pid": pid, "tid": tid,
+            "args": {key: _json_safe(value)
+                     for key, value in span.fields.items()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_snapshot(path, snapshot):
+    """Write a snapshot as Prometheus text, or JSON-lines for ``.jsonl``
+    paths.  Returns the format written."""
+    path = str(path)
+    if path.endswith(".jsonl"):
+        text, fmt = to_jsonl(snapshot), "jsonl"
+    else:
+        text, fmt = to_prometheus(snapshot), "prometheus"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return fmt
+
+
+def write_chrome_trace(path, spans, pid=0):
+    """Serialise spans to a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(spans, pid=pid), handle)

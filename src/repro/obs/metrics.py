@@ -1,0 +1,331 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` attaches to each
+:class:`~repro.sim.scheduler.Simulator` (``sim.metrics``).  It is
+disabled by default so the hot path costs a single attribute check; call
+sites follow the established trace-guard idiom::
+
+    if sim.metrics.enabled:
+        sim.metrics.inc("sdio_wakes_total", labels={"bus": self.name})
+
+Metrics are identified by ``(name, labels)``.  Three kinds exist:
+
+* :class:`Counter` — monotonically increasing value (``inc``),
+* :class:`Gauge` — point-in-time value (``set``),
+* :class:`Histogram` — fixed upper-bound buckets with a Prometheus-style
+  cumulative-``le`` export plus min/max/sum/count and interpolated
+  p50/p95/p99 estimates.
+
+Fixed buckets make snapshots *mergeable*: campaign workers return
+per-cell snapshots and the parent folds them together bucket-by-bucket
+(:func:`merge_snapshots`), so a parallel sweep produces exactly the
+snapshot a serial one does.  Metrics whose values depend on wall-clock
+time (handler self-time) are flagged ``volatile`` and excluded from
+snapshots by default, keeping snapshots deterministic.
+"""
+
+from bisect import bisect_left
+
+#: Default latency buckets (seconds).  Spans the sub-millisecond driver
+#: costs up to the multi-beacon PSM waits the paper measures; anything
+#: beyond 1 s lands in the implicit +Inf bucket.
+DEFAULT_LATENCY_BUCKETS = (
+    100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+    75e-3, 100e-3, 150e-3, 250e-3, 500e-3, 1.0,
+)
+
+
+def _label_key(labels):
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (or sum)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "value", "volatile")
+
+    def __init__(self, name, labels=(), volatile=False):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self.volatile = volatile
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def payload(self):
+        return {"value": self.value}
+
+    def __repr__(self):
+        return f"<Counter {self.name}{dict(self.labels)} {self.value}>"
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "labels", "value", "volatile")
+
+    def __init__(self, name, labels=(), volatile=False):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.volatile = volatile
+
+    def set(self, value):
+        self.value = value
+
+    def payload(self):
+        return {"value": self.value}
+
+    def __repr__(self):
+        return f"<Gauge {self.name}{dict(self.labels)} {self.value}>"
+
+
+def _bucket_percentile(bounds, counts, total, minimum, maximum, q):
+    """Interpolated percentile estimate from fixed-bucket counts.
+
+    ``counts`` are per-bucket (non-cumulative), one entry per bound plus
+    the trailing +Inf overflow bucket.  The estimate interpolates
+    linearly within the bucket holding the target rank, with the
+    observed min/max clamping the open-ended edge buckets.
+    """
+    if not total:
+        return None
+    target = total * q / 100.0
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if count and cumulative + count >= target:
+            lower = bounds[index - 1] if index > 0 else minimum
+            upper = bounds[index] if index < len(bounds) else maximum
+            lower = max(lower, minimum)
+            upper = min(upper, maximum)
+            if upper <= lower:
+                return min(max(lower, minimum), maximum)
+            fraction = (target - cumulative) / count
+            return min(max(lower + (upper - lower) * fraction, minimum),
+                       maximum)
+        cumulative += count
+    return maximum
+
+
+class Histogram:
+    """Fixed-bucket latency histogram.
+
+    ``buckets`` are inclusive upper bounds in increasing order; one
+    implicit +Inf bucket catches overflow.  Buckets are fixed at
+    creation so two histograms of the same metric merge exactly.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "minimum", "maximum", "volatile")
+
+    def __init__(self, name, labels=(), buckets=DEFAULT_LATENCY_BUCKETS,
+                 volatile=False):
+        bounds = tuple(buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram buckets must increase: {bounds!r}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.minimum = None
+        self.maximum = None
+        self.volatile = volatile
+
+    def observe(self, value):
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def percentile(self, q):
+        """Estimated ``q``-th percentile (``None`` while empty)."""
+        return _bucket_percentile(self.buckets, self.counts, self.count,
+                                  self.minimum, self.maximum, q)
+
+    @property
+    def p50(self):
+        return self.percentile(50)
+
+    @property
+    def p95(self):
+        return self.percentile(95)
+
+    @property
+    def p99(self):
+        return self.percentile(99)
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else None
+
+    def payload(self):
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self):
+        return (f"<Histogram {self.name}{dict(self.labels)} n={self.count} "
+                f"p50={self.p50}>")
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, keyed by ``(name, labels)``."""
+
+    __slots__ = ("enabled", "default_buckets", "_metrics")
+
+    def __init__(self, enabled=True, default_buckets=DEFAULT_LATENCY_BUCKETS):
+        self.enabled = enabled
+        self.default_buckets = tuple(default_buckets)
+        self._metrics = {}
+
+    # -- get-or-create ----------------------------------------------------
+
+    def _get(self, cls, name, labels, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name, labels=None, volatile=False):
+        return self._get(Counter, name, labels, volatile=volatile)
+
+    def gauge(self, name, labels=None, volatile=False):
+        return self._get(Gauge, name, labels, volatile=volatile)
+
+    def histogram(self, name, labels=None, buckets=None, volatile=False):
+        return self._get(Histogram, name, labels,
+                         buckets=buckets or self.default_buckets,
+                         volatile=volatile)
+
+    # -- one-shot conveniences (the usual call-site form) -----------------
+
+    def inc(self, name, amount=1, labels=None):
+        self.counter(name, labels=labels).inc(amount)
+
+    def set_gauge(self, name, value, labels=None):
+        self.gauge(name, labels=labels).set(value)
+
+    def observe(self, name, value, labels=None, buckets=None):
+        self.histogram(name, labels=labels, buckets=buckets).observe(value)
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, name, labels=None):
+        """The metric registered under ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def metrics(self):
+        """All metrics, sorted by (name, labels) for determinism."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def clear(self):
+        self._metrics.clear()
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self.metrics())
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, include_volatile=False):
+        """A JSON-ready, deterministically ordered dump of every metric.
+
+        Volatile (wall-clock-derived) metrics are excluded unless asked
+        for, so snapshots of identical simulations compare equal.
+        """
+        out = []
+        for metric in self.metrics():
+            if metric.volatile and not include_volatile:
+                continue
+            entry = {"name": metric.name, "kind": metric.kind,
+                     "labels": dict(metric.labels)}
+            entry.update(metric.payload())
+            out.append(entry)
+        return {"metrics": out}
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state} metrics={len(self._metrics)}>"
+
+
+def _merge_entry(into, entry):
+    if into["kind"] != entry["kind"]:
+        raise ValueError(
+            f"cannot merge {entry['name']!r}: kind {entry['kind']} != "
+            f"{into['kind']}")
+    if into["kind"] == "counter":
+        into["value"] += entry["value"]
+    elif into["kind"] == "gauge":
+        into["value"] = entry["value"]  # later snapshots win
+    else:
+        if into["buckets"] != entry["buckets"]:
+            raise ValueError(
+                f"cannot merge {entry['name']!r}: bucket bounds differ")
+        into["counts"] = [a + b
+                          for a, b in zip(into["counts"], entry["counts"])]
+        into["sum"] += entry["sum"]
+        into["count"] += entry["count"]
+        for field, pick in (("min", min), ("max", max)):
+            values = [v for v in (into[field], entry[field]) if v is not None]
+            into[field] = pick(values) if values else None
+        for q in (50, 95, 99):
+            into[f"p{q}"] = _bucket_percentile(
+                tuple(into["buckets"]), into["counts"], into["count"],
+                into["min"], into["max"], q)
+
+
+def merge_snapshots(snapshots):
+    """Fold :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters and histogram buckets sum; gauges keep the last value seen
+    (snapshots merge in the order given, which campaign code keeps in
+    grid order).  Histogram percentiles are recomputed from the merged
+    buckets, so the result is exactly what one registry observing all
+    the samples would report.
+    """
+    merged = {}
+    for snapshot in snapshots:
+        for entry in snapshot.get("metrics", ()):
+            key = (entry["name"], _label_key(entry["labels"]))
+            if key in merged:
+                _merge_entry(merged[key], entry)
+            else:
+                copied = dict(entry)
+                if copied["kind"] == "histogram":
+                    copied["buckets"] = list(copied["buckets"])
+                    copied["counts"] = list(copied["counts"])
+                copied["labels"] = dict(copied["labels"])
+                merged[key] = copied
+    return {"metrics": [merged[key] for key in sorted(merged)]}

@@ -1,0 +1,140 @@
+"""Timed spans: named sim-time intervals layered on trace + metrics.
+
+A span is one interval of simulated time with a dotted name and optional
+fields — ``sdio.promotion`` (the bus coming up), ``psm.buffered`` (a
+downlink frame parked at the AP), ``measurement.probe`` (one user-level
+probe transaction).  Completing a span does three things at once:
+
+* stores the interval for timeline export
+  (:func:`repro.obs.export.to_chrome_trace`),
+* observes the duration in a latency histogram named after the span
+  (``sdio.promotion`` → ``sdio_promotion_seconds``) in the attached
+  :class:`~repro.obs.metrics.MetricsRegistry`,
+* emits a record into the attached
+  :class:`~repro.sim.trace.TraceRecorder` under the span's first dotted
+  component as category (``sdio``, ``psm``, ``measurement``).
+
+The tracker is disabled by default; call sites guard exactly like trace
+call sites::
+
+    if sim.spans.enabled:
+        sim.spans.record("sdio.promotion", t0, t0 + delay, bus=self.name)
+
+For intervals whose end is not known upfront, pair :meth:`SpanTracker.begin`
+with :meth:`SpanTracker.end` around the scheduled completion.
+"""
+
+
+class Span:
+    """One completed named interval of simulated time."""
+
+    __slots__ = ("name", "start", "end", "fields")
+
+    def __init__(self, name, start, end, fields):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.fields = fields
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    @property
+    def category(self):
+        """First dotted component (``sdio.promotion`` → ``sdio``)."""
+        return self.name.partition(".")[0]
+
+    def __repr__(self):
+        return (f"<Span {self.name} [{self.start * 1e3:.3f}ms "
+                f"+{self.duration * 1e3:.3f}ms]>")
+
+
+def span_metric_name(name):
+    """Histogram name a span feeds (``psm.beacon_wait`` →
+    ``psm_beacon_wait_seconds``)."""
+    return name.replace(".", "_") + "_seconds"
+
+
+class SpanTracker:
+    """Collects :class:`Span` objects and fans them out to trace/metrics."""
+
+    __slots__ = ("enabled", "metrics", "trace", "spans", "limit", "dropped",
+                 "_open", "_next_token")
+
+    def __init__(self, metrics=None, trace=None, enabled=False,
+                 limit=200_000):
+        self.enabled = enabled
+        self.metrics = metrics
+        self.trace = trace
+        self.spans = []
+        self.limit = limit
+        self.dropped = 0
+        self._open = {}
+        self._next_token = 1
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, name, start, end, **fields):
+        """Store one completed interval; returns the :class:`Span`."""
+        span = Span(name, start, end, fields)
+        if self.limit is not None and len(self.spans) >= self.limit:
+            self.dropped += 1
+        else:
+            self.spans.append(span)
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.observe(span_metric_name(name), end - start)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.record(end, span.category, f"span {name}",
+                         start=start, duration=end - start, **fields)
+        return span
+
+    def begin(self, name, start, **fields):
+        """Open a span whose end is not yet known; returns a token."""
+        token = self._next_token
+        self._next_token += 1
+        self._open[token] = (name, start, fields)
+        return token
+
+    def end(self, token, end, **extra_fields):
+        """Complete a span opened with :meth:`begin`.
+
+        Unknown (already-ended or discarded) tokens are a no-op,
+        returning ``None``.
+        """
+        opened = self._open.pop(token, None)
+        if opened is None:
+            return None
+        name, start, fields = opened
+        if extra_fields:
+            fields = {**fields, **extra_fields}
+        return self.record(name, start, end, **fields)
+
+    def discard(self, token):
+        """Abandon an open span without recording it."""
+        self._open.pop(token, None)
+
+    # -- access -----------------------------------------------------------
+
+    def by_name(self, name):
+        return [span for span in self.spans if span.name == name]
+
+    def names(self):
+        return sorted({span.name for span in self.spans})
+
+    def clear(self):
+        self.spans.clear()
+        self._open.clear()
+        self.dropped = 0
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def __len__(self):
+        return len(self.spans)
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"<SpanTracker {state} spans={len(self.spans)}>"

@@ -61,6 +61,7 @@ class SdioBus:
         self._activity_since_tick = True
         self.sleep_count = 0
         self.wake_count = 0
+        self._slept_at = None
         self._watchdog = PeriodicTimer(
             sim, chipset.watchdog_period, self._watchdog_tick,
             label=f"watchdog:{name}",
@@ -83,6 +84,10 @@ class SdioBus:
             # An always-on bus comes up for free at the next access; model
             # the toggle as an immediate wake.
             self._transition(BUS_AWAKE)
+            if self.sim.spans.enabled and self._slept_at is not None:
+                self.sim.spans.record("sdio.asleep", self._slept_at,
+                                      self.sim.now, bus=self.name)
+            self._slept_at = None
 
     def _transition(self, new_state):
         old = self.state
@@ -100,7 +105,19 @@ class SdioBus:
             return 0.0
         self._transition(BUS_AWAKE)
         self.wake_count += 1
-        return self.chipset.wake_delay.draw(self.rng)
+        delay = self.chipset.wake_delay.draw(self.rng)
+        sim = self.sim
+        if sim.metrics.enabled:
+            sim.metrics.inc("sdio_wakes_total", labels={"bus": self.name})
+        if sim.spans.enabled:
+            # The asleep period just ending, then the promotion it costs.
+            if self._slept_at is not None:
+                sim.spans.record("sdio.asleep", self._slept_at, sim.now,
+                                 bus=self.name)
+                self._slept_at = None
+            sim.spans.record("sdio.promotion", sim.now, sim.now + delay,
+                             bus=self.name)
+        return delay
 
     def _watchdog_tick(self):
         if self._activity_since_tick:
@@ -115,6 +132,10 @@ class SdioBus:
         ):
             self._transition(BUS_ASLEEP)
             self.sleep_count += 1
+            self._slept_at = self.sim.now
+            if self.sim.metrics.enabled:
+                self.sim.metrics.inc("sdio_sleeps_total",
+                                     labels={"bus": self.name})
             if self.sim.trace.enabled:
                 self.sim.trace.record(self.sim.now, "sdio", "bus sleep",
                                       bus=self.name)
@@ -197,6 +218,10 @@ class WnicDriver:
         self.samples.append(DriverSample(
             "send" if kind == "tx" else "recv", now, duration, wake_paid,
         ))
+        if self.sim.metrics.enabled:
+            self.sim.metrics.observe(
+                "driver_dvsend_seconds" if kind == "tx"
+                else "driver_dvrecv_seconds", duration)
         if kind == "tx":
             self.packets_tx += 1
             self.tx_complete(packet)

@@ -53,8 +53,16 @@ class Event:
         if self.canceled:
             return
         self.canceled = True
-        if self.in_heap and self.owner is not None:
-            self.owner._canceled_in_heap += 1
+        owner = self.owner
+        if owner is not None:
+            if self.in_heap:
+                owner._canceled_in_heap += 1
+            owner.events_canceled += 1
+            if owner.metrics.enabled:
+                owner.metrics.inc(
+                    "scheduler_events_canceled_total",
+                    labels={"category": self.label.partition(":")[0]
+                            or "event"})
 
     def fire(self):
         """Invoke the callback (scheduler use only)."""

@@ -1,7 +1,10 @@
 """The event scheduler at the heart of the simulator."""
 
 import heapq
+import time
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracker
 from repro.sim.errors import SchedulerError, SimTimeError
 from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
@@ -16,8 +19,11 @@ class Simulator:
     * the virtual clock (:attr:`now`, in seconds, starting at 0.0),
     * the pending-event heap,
     * a :class:`~repro.sim.rng.RngRegistry` so components can draw from
-      named, independently seeded random streams, and
-    * a :class:`~repro.sim.trace.TraceRecorder` for structured tracing.
+      named, independently seeded random streams,
+    * a :class:`~repro.sim.trace.TraceRecorder` for structured tracing,
+    * a :class:`~repro.obs.metrics.MetricsRegistry` and a
+      :class:`~repro.obs.spans.SpanTracker` (both disabled by default;
+      see :func:`repro.obs.enable_observability`).
 
     Typical use::
 
@@ -31,15 +37,21 @@ class Simulator:
     is the O(1) difference between the heap size and that counter.
     """
 
-    def __init__(self, seed=0, trace=None):
+    def __init__(self, seed=0, trace=None, metrics=None, spans=None):
         self._now = 0.0
         self._heap = []
         self._canceled_in_heap = 0
         self._running = False
         self._stopped = False
         self.events_fired = 0
+        self.events_canceled = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(enabled=False))
+        self.spans = (spans if spans is not None
+                      else SpanTracker(metrics=self.metrics,
+                                       trace=self.trace, enabled=False))
 
     @property
     def now(self):
@@ -107,9 +119,31 @@ class Simulator:
                 continue
             self._now = event.time
             self.events_fired += 1
-            event.fire()
+            if self.metrics.enabled:
+                self._fire_observed(event)
+            else:
+                event.fire()
             return True
         return False
+
+    def _fire_observed(self, event):
+        """Fire one event while recording per-category scheduler metrics.
+
+        Only reached when ``self.metrics.enabled`` — the callers keep
+        the guard so the disabled path never pays for instrumentation.
+        The handler self-time counter is wall-clock derived and therefore
+        marked volatile (excluded from deterministic snapshots).
+        """
+        metrics = self.metrics
+        category = event.label.partition(":")[0] or "event"
+        start = time.perf_counter()
+        event.fire()
+        elapsed = time.perf_counter() - start
+        metrics.inc("scheduler_events_fired_total",  # obs: caller-guarded
+                    labels={"category": category})
+        metrics.counter("scheduler_handler_self_seconds_total",  # obs: caller-guarded
+                        labels={"category": category},
+                        volatile=True).inc(elapsed)
 
     def run(self, until=None):
         """Run events in time order.
@@ -128,31 +162,56 @@ class Simulator:
             raise SchedulerError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
-        heap = self._heap
-        heappop = heapq.heappop
         try:
-            # The loop body is a manually fused peek()+step(): one pop per
-            # event instead of a scan-then-pop pair, no property reads.
-            while not self._stopped and heap:
-                event = heap[0]
-                if event.canceled:
-                    self._discard_head()
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heappop(heap)
-                event.in_heap = False
-                self._now = event.time
-                self.events_fired += 1
-                if event.kwargs:
-                    event.fn(*event.args, **event.kwargs)
-                else:
-                    event.fn(*event.args)
+            # Observability dispatch happens once per run(), not once per
+            # event, so the disabled path is exactly the fast loop.
+            if self.metrics.enabled:
+                self._run_observed(until)
+            else:
+                self._run_fast(until)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
         return self._now
+
+    def _run_fast(self, until):
+        heap = self._heap
+        heappop = heapq.heappop
+        # The loop body is a manually fused peek()+step(): one pop per
+        # event instead of a scan-then-pop pair, no property reads.
+        while not self._stopped and heap:
+            event = heap[0]
+            if event.canceled:
+                self._discard_head()
+                continue
+            if until is not None and event.time > until:
+                break
+            heappop(heap)
+            event.in_heap = False
+            self._now = event.time
+            self.events_fired += 1
+            if event.kwargs:
+                event.fn(*event.args, **event.kwargs)
+            else:
+                event.fn(*event.args)
+
+    def _run_observed(self, until):
+        """The fast loop plus per-event scheduler metrics (opt-in)."""
+        heap = self._heap
+        heappop = heapq.heappop
+        while not self._stopped and heap:
+            event = heap[0]
+            if event.canceled:
+                self._discard_head()
+                continue
+            if until is not None and event.time > until:
+                break
+            heappop(heap)
+            event.in_heap = False
+            self._now = event.time
+            self.events_fired += 1
+            self._fire_observed(event)
 
     def pending(self):
         """Number of live (non-cancelled) events still queued.

@@ -12,6 +12,11 @@ keyword-argument packing entirely when tracing is off::
 
     if sim.trace.enabled:
         sim.trace.record(sim.now, "sdio", "bus sleep", bus=self.name)
+
+(``scripts/check_trace_guards.py`` lints that every call site keeps the
+guard.)  The recorder keeps a per-category index so
+``select(category=...)`` is O(matches), and counts records dropped by
+the ``limit`` per category.
 """
 
 from collections import Counter
@@ -36,7 +41,8 @@ class TraceRecord:
 class TraceRecorder:
     """Collects :class:`TraceRecord` objects, optionally filtered by category."""
 
-    __slots__ = ("enabled", "categories", "limit", "records", "dropped")
+    __slots__ = ("enabled", "categories", "limit", "records", "dropped",
+                 "dropped_by_category", "_by_category")
 
     def __init__(self, enabled=True, categories=None, limit=None):
         self.enabled = enabled
@@ -44,6 +50,8 @@ class TraceRecorder:
         self.limit = limit
         self.records = []
         self.dropped = 0
+        self.dropped_by_category = Counter()
+        self._by_category = {}
 
     def record(self, time, category, message, **fields):
         """Store one record (honouring the category filter and limit)."""
@@ -53,15 +61,29 @@ class TraceRecorder:
             return
         if self.limit is not None and len(self.records) >= self.limit:
             self.dropped += 1
+            self.dropped_by_category[category] += 1
             return
-        self.records.append(TraceRecord(time, category, message, fields))
+        entry = TraceRecord(time, category, message, fields)
+        self.records.append(entry)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            bucket = self._by_category[category] = []
+        bucket.append(entry)
 
     def select(self, category=None, message=None):
-        """Return records matching a category and/or message substring."""
+        """Return records matching a category and/or message substring.
+
+        With a ``category`` the per-category index makes this O(matches)
+        rather than a scan of every record.
+        """
+        if category is not None:
+            candidates = self._by_category.get(category, [])
+            if message is None:
+                return list(candidates)
+        else:
+            candidates = self.records
         out = []
-        for record in self.records:
-            if category is not None and record.category != category:
-                continue
+        for record in candidates:
             if message is not None and message not in record.message:
                 continue
             out.append(record)
@@ -69,16 +91,31 @@ class TraceRecorder:
 
     def count(self, category=None, message=None):
         """Number of matching records."""
+        if category is not None and message is None:
+            return len(self._by_category.get(category, ()))
         return len(self.select(category=category, message=message))
 
-    def summary(self):
-        """Counter of records per category."""
-        return Counter(record.category for record in self.records)
+    def summary(self, dropped=False):
+        """Counter of records per category.
+
+        With ``dropped=True``, returns ``{"recorded": Counter,
+        "dropped": Counter}`` so limit-induced losses are visible next
+        to what survived.
+        """
+        recorded = Counter({category: len(bucket)
+                            for category, bucket in self._by_category.items()
+                            if bucket})
+        if dropped:
+            return {"recorded": recorded,
+                    "dropped": Counter(self.dropped_by_category)}
+        return recorded
 
     def clear(self):
-        """Drop all stored records."""
+        """Drop all stored records and reset the dropped accounting."""
         self.records.clear()
+        self._by_category.clear()
         self.dropped = 0
+        self.dropped_by_category.clear()
 
     def __iter__(self):
         return iter(self.records)

@@ -14,17 +14,18 @@ import itertools
 import json
 
 from repro.analysis.stats import SummaryStats
-from repro.testbed.experiments import acutemon_experiment, tool_comparison
+from repro.obs.metrics import merge_snapshots
+from repro.testbed.experiments import tool_experiment
 
 
 class CellResult:
     """The outcome of one campaign cell."""
 
     __slots__ = ("phone", "rtt", "tool", "cross_traffic", "seed",
-                 "rtts", "layers")
+                 "rtts", "layers", "metrics")
 
     def __init__(self, phone, rtt, tool, cross_traffic, seed, rtts,
-                 layers=None):
+                 layers=None, metrics=None):
         self.phone = phone
         self.rtt = rtt
         self.tool = tool
@@ -32,6 +33,7 @@ class CellResult:
         self.seed = seed
         self.rtts = rtts
         self.layers = layers or {}
+        self.metrics = metrics  # snapshot dict when run with collect_metrics
 
     def summary(self):
         return SummaryStats(self.rtts)
@@ -42,17 +44,20 @@ class CellResult:
         return abs(stats.median - self.rtt)
 
     def to_dict(self):
-        return {
+        payload = {
             "phone": self.phone, "rtt": self.rtt, "tool": self.tool,
             "cross_traffic": self.cross_traffic, "seed": self.seed,
             "rtts": self.rtts, "layers": self.layers,
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     @classmethod
     def from_dict(cls, data):
         return cls(data["phone"], data["rtt"], data["tool"],
                    data["cross_traffic"], data["seed"], data["rtts"],
-                   data.get("layers"))
+                   data.get("layers"), data.get("metrics"))
 
     def key(self):
         return (self.phone, self.rtt, self.tool, self.cross_traffic)
@@ -62,25 +67,25 @@ class CellResult:
                 f"{self.tool} n={len(self.rtts)}>")
 
 
-def run_cell(phone, rtt, tool, cross_traffic, seed, count):
+def run_cell(phone, rtt, tool, cross_traffic, seed, count,
+             collect_metrics=False):
     """Execute one campaign cell and return its :class:`CellResult`.
 
     Module-level (rather than a Campaign method) so worker processes can
-    import and run cells without materialising a campaign object.
+    import and run cells without materialising a campaign object.  With
+    ``collect_metrics`` the cell's simulator runs with observability
+    enabled and the result carries a deterministic metrics snapshot
+    (instrumentation never touches RNG streams or the event schedule, so
+    the measured RTTs are identical either way).
     """
-    if tool == "acutemon":
-        result = acutemon_experiment(
-            phone, emulated_rtt=rtt, count=count, seed=seed,
-            cross_traffic=cross_traffic)
-        rtts = result.user_rtts
-        layers = dict(result.layers)
-    else:
-        comparison = tool_comparison(
-            phone, emulated_rtt=rtt, count=count, seed=seed,
-            cross_traffic=cross_traffic, tools=(tool,))
-        rtts = comparison[tool]
-        layers = {}
-    return CellResult(phone, rtt, tool, cross_traffic, seed, rtts, layers)
+    result = tool_experiment(
+        tool, phone, emulated_rtt=rtt, count=count, seed=seed,
+        cross_traffic=cross_traffic, observe=collect_metrics)
+    rtts = result.user_rtts
+    layers = dict(result.layers) if tool == "acutemon" else {}
+    metrics = result.metrics_snapshot() if collect_metrics else None
+    return CellResult(phone, rtt, tool, cross_traffic, seed, rtts, layers,
+                      metrics)
 
 
 class Campaign:
@@ -124,7 +129,8 @@ class Campaign:
         for index, (phone, rtt, tool, cross) in enumerate(grid):
             yield phone, rtt, tool, cross, self.base_seed + index * 7919
 
-    def run(self, progress=None, workers=1, chunk_size=None):
+    def run(self, progress=None, workers=1, chunk_size=None,
+            collect_metrics=False):
         """Execute every cell; returns the result list.
 
         ``workers=1`` (the default) runs in-process and serially.  Any
@@ -133,7 +139,10 @@ class Campaign:
         shards the grid across a process pool (``workers=None`` means
         one worker per CPU) and produces bit-identical results in the
         same deterministic order.  ``chunk_size`` tunes how many cells
-        each pool task carries.
+        each pool task carries.  ``collect_metrics`` runs every cell
+        with observability enabled and attaches a metrics snapshot to
+        each :class:`CellResult` (see :meth:`merged_metrics`); snapshots
+        are deterministic, so serial and parallel runs agree exactly.
         """
         if workers == 1:
             self.results = []
@@ -141,12 +150,13 @@ class Campaign:
                 if progress is not None:
                     progress(phone, rtt, tool, cross)
                 self._append_result(
-                    run_cell(phone, rtt, tool, cross, seed, self.count))
+                    run_cell(phone, rtt, tool, cross, seed, self.count,
+                             collect_metrics=collect_metrics))
             return self._results
         from repro.testbed.parallel import ParallelCampaignRunner
         runner = ParallelCampaignRunner(self, workers=workers,
                                         chunk_size=chunk_size)
-        return runner.run(progress=progress)
+        return runner.run(progress=progress, collect_metrics=collect_metrics)
 
     # -- persistence ----------------------------------------------------------
 
@@ -179,6 +189,22 @@ class Campaign:
         return merged
 
     # -- queries ------------------------------------------------------------------
+
+    def merged_metrics(self):
+        """Fold every cell's metrics snapshot into one campaign-wide view.
+
+        Counters and histogram buckets sum across cells; gauges keep the
+        last cell's value (grid order).  Returns ``None`` when no cell
+        carries metrics (i.e. the campaign ran without
+        ``collect_metrics``).  Because each cell's snapshot is
+        deterministic and the fold follows grid order, the merged view
+        is identical for serial and parallel runs.
+        """
+        snapshots = [result.metrics for result in self.results
+                     if result.metrics is not None]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
 
     def result_for(self, phone, rtt, tool, cross_traffic=False):
         return self._index.get((phone, rtt, tool, cross_traffic))

@@ -8,6 +8,7 @@ blocks of every table/figure benchmark and of the integration tests.
 from repro.core.acutemon import AcuteMon, AcuteMonConfig
 from repro.core.measurement import ProbeCollector
 from repro.core.overhead import decompose
+from repro.obs import enable_observability, finalize_sim_metrics
 from repro.tools.httping import HttpingTool
 from repro.tools.javaping import JavaPingTool
 from repro.tools.mobiperf import MobiPerfTool
@@ -32,13 +33,26 @@ class ExperimentResult:
         """RTTs as reported by the tool (seconds)."""
         return [s.rtt for s in self.samples if s.rtt is not None]
 
+    @property
+    def spans(self):
+        """The cell's recorded spans (empty unless built with observe)."""
+        return self.testbed.sim.spans
+
+    def metrics_snapshot(self, include_volatile=False):
+        """Deterministic metrics dump (scheduler gauges refreshed first)."""
+        sim = self.testbed.sim
+        finalize_sim_metrics(sim)
+        return sim.metrics.snapshot(include_volatile=include_volatile)
+
     def __repr__(self):
         return f"<ExperimentResult probes={len(self.samples)}>"
 
 
 def _build(phone_key, emulated_rtt, seed, cross_traffic=False,
-           settle=1.0, **phone_kwargs):
+           settle=1.0, observe=False, **phone_kwargs):
     testbed = Testbed(seed=seed, emulated_rtt=emulated_rtt)
+    if observe:
+        enable_observability(testbed.sim)
     phone = testbed.add_phone(phone_key, **phone_kwargs)
     collector = ProbeCollector(phone)
     if cross_traffic:
@@ -49,7 +63,7 @@ def _build(phone_key, emulated_rtt, seed, cross_traffic=False,
 
 def ping_experiment(phone_key="nexus5", emulated_rtt=30e-3, interval=1.0,
                     count=100, seed=0, bus_sleep=True, cross_traffic=False,
-                    timeout=1.0):
+                    timeout=1.0, observe=False):
     """The §3.1 root-cause experiment: multi-layer ping measurement.
 
     Returns an :class:`ExperimentResult` whose ``layers`` dict holds the
@@ -58,7 +72,7 @@ def ping_experiment(phone_key="nexus5", emulated_rtt=30e-3, interval=1.0,
     """
     testbed, phone, collector = _build(
         phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
-        bus_sleep=bus_sleep,
+        bus_sleep=bus_sleep, observe=observe,
     )
     phone.driver.clear_samples()
     tool = PingTool(phone, collector, testbed.server_ip, interval=interval,
@@ -69,11 +83,11 @@ def ping_experiment(phone_key="nexus5", emulated_rtt=30e-3, interval=1.0,
 
 def acutemon_experiment(phone_key="nexus5", emulated_rtt=30e-3, count=100,
                         seed=0, config=None, cross_traffic=False,
-                        bus_sleep=True, **config_kwargs):
+                        bus_sleep=True, observe=False, **config_kwargs):
     """One AcuteMon run (§4.2): warm-up + background + K probes."""
     testbed, phone, collector = _build(
         phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
-        bus_sleep=bus_sleep,
+        bus_sleep=bus_sleep, observe=observe,
     )
     if config is None:
         config = AcuteMonConfig(probe_count=count, **config_kwargs)
@@ -101,6 +115,36 @@ TOOL_BUILDERS = {
 }
 
 
+def tool_experiment(tool_name, phone_key="nexus5", emulated_rtt=30e-3,
+                    count=100, seed=0, cross_traffic=False, interval=1.0,
+                    observe=False):
+    """Run one tool (any of :data:`TOOL_BUILDERS`) in a fresh testbed.
+
+    Returns an :class:`ExperimentResult`; for non-AcuteMon tools its
+    ``layers`` stay meaningful only where the tool's probes traverse the
+    instrumented stack.  Pass ``observe=True`` to attach the metrics
+    registry, span tracker and trace recorder to the cell's simulator.
+    """
+    if tool_name == "acutemon":
+        return acutemon_experiment(
+            phone_key, emulated_rtt, count=count, seed=seed,
+            cross_traffic=cross_traffic, observe=observe,
+        )
+    try:
+        builder = TOOL_BUILDERS[tool_name]
+    except KeyError:
+        raise ValueError(f"unknown tool {tool_name!r}; "
+                         f"known: {sorted(TOOL_BUILDERS)}") from None
+    testbed, phone, collector = _build(
+        phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
+        observe=observe)
+    tool = builder(phone, collector, testbed.server_ip, interval)
+    samples = tool.run_sync(count)
+    result = ExperimentResult(testbed, phone, collector, samples)
+    result.tool = tool
+    return result
+
+
 def tool_comparison(phone_key="nexus5", emulated_rtt=30e-3, count=100,
                     seed=0, cross_traffic=False, interval=1.0,
                     tools=("acutemon", "httping", "ping", "javaping")):
@@ -112,30 +156,19 @@ def tool_comparison(phone_key="nexus5", emulated_rtt=30e-3, count=100,
     results = {}
     for index, tool_name in enumerate(tools):
         tool_seed = seed + index * 1000
-        if tool_name == "acutemon":
-            result = acutemon_experiment(
-                phone_key, emulated_rtt, count=count, seed=tool_seed,
-                cross_traffic=cross_traffic,
-            )
-            results[tool_name] = result.user_rtts
-            continue
-        try:
-            builder = TOOL_BUILDERS[tool_name]
-        except KeyError:
-            raise ValueError(f"unknown tool {tool_name!r}; "
-                             f"known: {sorted(TOOL_BUILDERS)}") from None
-        testbed, phone, collector = _build(
-            phone_key, emulated_rtt, tool_seed, cross_traffic=cross_traffic)
-        tool = builder(phone, collector, testbed.server_ip, interval)
-        tool.run_sync(count)
-        results[tool_name] = tool.rtts()
+        result = tool_experiment(
+            tool_name, phone_key, emulated_rtt, count=count, seed=tool_seed,
+            cross_traffic=cross_traffic, interval=interval,
+        )
+        results[tool_name] = result.user_rtts
     return results
 
 
 def ping2_experiment(phone_key="nexus5", emulated_rtt=30e-3, count=100,
-                     seed=0, interval=1.0):
+                     seed=0, interval=1.0, observe=False):
     """Sui et al.'s server-side double ping against an idle phone."""
-    testbed, phone, _collector = _build(phone_key, emulated_rtt, seed)
+    testbed, phone, _collector = _build(phone_key, emulated_rtt, seed,
+                                        observe=observe)
     tool = Ping2Tool(testbed.server_host, phone.ip_addr, interval=interval)
     tool.run_sync(count)
     return tool, testbed

@@ -42,8 +42,9 @@ def _run_shard(task):
 
     Module-level so it pickles under every start method (fork or spawn).
     """
-    count, cells = task
-    return [run_cell(phone, rtt, tool, cross, seed, count).to_dict()
+    count, collect_metrics, cells = task
+    return [run_cell(phone, rtt, tool, cross, seed, count,
+                     collect_metrics=collect_metrics).to_dict()
             for phone, rtt, tool, cross, seed in cells]
 
 
@@ -114,23 +115,27 @@ class ParallelCampaignRunner:
 
     # -- execution ------------------------------------------------------------
 
-    def _run_serial(self, cells, progress):
+    def _run_serial(self, cells, progress, collect_metrics=False):
         results = []
         for phone, rtt, tool, cross, seed in cells:
             if progress is not None:
                 progress(phone, rtt, tool, cross)
             results.append(
                 run_cell(phone, rtt, tool, cross, seed,
-                         self.campaign.count))
+                         self.campaign.count,
+                         collect_metrics=collect_metrics))
         return results
 
-    def run(self, progress=None):
+    def run(self, progress=None, collect_metrics=False):
         """Execute the grid and install the merged results.
 
         ``progress(phone, rtt, tool, cross_traffic)`` is invoked once
         per cell: before the cell runs when serial, as each shard's
-        results are merged when parallel.  Returns the result list (also
-        assigned to ``campaign.results``, in grid order).
+        results are merged when parallel.  ``collect_metrics`` makes
+        every cell run observed and carry its metrics snapshot home
+        through the same JSON round-trip as the rest of the result.
+        Returns the result list (also assigned to ``campaign.results``,
+        in grid order).
         """
         campaign = self.campaign
         cells = list(campaign.cells())
@@ -138,7 +143,8 @@ class ParallelCampaignRunner:
         pool_context = self._pool_context() if workers > 1 else None
         if workers <= 1 or pool_context is None:
             self.mode = "serial"
-            results = self._run_serial(cells, progress)
+            results = self._run_serial(cells, progress,
+                                       collect_metrics=collect_metrics)
         else:
             self.mode = "parallel"
             shards = self.shards(cells)
@@ -148,7 +154,8 @@ class ParallelCampaignRunner:
                 with pool_context.Pool(processes=workers) as pool:
                     # imap (not imap_unordered) keeps grid order while
                     # still streaming finished shards for progress.
-                    tasks = [(count, shard) for shard in shards]
+                    tasks = [(count, collect_metrics, shard)
+                             for shard in shards]
                     for payloads in pool.imap(_run_shard, tasks):
                         for payload in payloads:
                             result = CellResult.from_dict(payload)
@@ -160,6 +167,7 @@ class ParallelCampaignRunner:
                 # Process creation failed mid-flight (fork limits,
                 # sandboxed platforms): degrade to the serial path.
                 self.mode = "serial"
-                results = self._run_serial(cells, progress)
+                results = self._run_serial(cells, progress,
+                                           collect_metrics=collect_metrics)
         campaign.results = results
         return campaign.results

@@ -75,6 +75,7 @@ class AccessPoint:
         self._beacon_seq = 0
         self.beacons_sent = 0
         self.frames_buffered = 0
+        self._buffered_at = {}  # id(frame) -> buffer-entry time (spans)
         self._tx_seq = 0
         self.wlan_port = RouterPort(
             "wlan", wlan_ip, wlan_network, transmit=self._wireless_transmit
@@ -151,11 +152,31 @@ class AccessPoint:
             self.radio.enqueue_frame(frame)
 
     def _buffer_frame(self, record, frame):
+        sim = self.sim
         if len(record.buffer) >= self.PS_BUFFER_LIMIT:
             record.buffered_drops += 1
+            if sim.metrics.enabled:
+                sim.metrics.inc("ap_ps_buffer_drops_total",
+                                labels={"ap": self.name})
             return
         self.frames_buffered += 1
         record.buffer.append(frame)
+        if sim.metrics.enabled:
+            sim.metrics.inc("ap_ps_frames_buffered_total",
+                            labels={"ap": self.name})
+        if sim.spans.enabled:
+            self._buffered_at[id(frame)] = sim.now
+        if sim.trace.enabled:
+            sim.trace.record(sim.now, "psm", "frame buffered",
+                             ap=self.name, aid=record.aid,
+                             depth=len(record.buffer))
+
+    def _release_buffered(self, record, frame):
+        """Span bookkeeping for one frame leaving the PS buffer."""
+        start = self._buffered_at.pop(id(frame), None)
+        if start is not None and self.sim.spans.enabled:
+            self.sim.spans.record("psm.buffered", start, self.sim.now,
+                                  ap=self.name, aid=record.aid)
 
     def _flush_buffer(self, record):
         if not record.buffer:
@@ -164,6 +185,7 @@ class AccessPoint:
         record.buffer = []
         for index, frame in enumerate(frames):
             frame.more_data = index < len(frames) - 1
+            self._release_buffered(record, frame)
             self.radio.enqueue_frame(frame)
 
     # -- uplink ---------------------------------------------------------------------
@@ -198,6 +220,7 @@ class AccessPoint:
             return
         frame = record.buffer.pop(0)
         frame.more_data = bool(record.buffer)
+        self._release_buffered(record, frame)
         self.radio.enqueue_frame(frame)
 
     def _update_power_state(self, record, frame):

@@ -100,6 +100,8 @@ class Station(Radio):
         self._fetching = False  # static mode: mid PS-Poll retrieval
         self._beacon_listen_event = None
         self._beacon_interval = None
+        self._beacon_wait_start = None
+        self._doze_started = None
         self._tx_seq = 0
         self.state_transitions = []  # (time, old, new, reason) for analysis
         self.doze_count = 0
@@ -243,6 +245,7 @@ class Station(Radio):
             self._beacon_listen_event = None
         self._listening_for_beacon = False
         self._fetching = False
+        self._beacon_wait_start = None
         if self.power_state != PowerState.AWAKE:
             self._set_state(PowerState.AWAKE, reason)
         self._arm_psm_timer()
@@ -251,6 +254,21 @@ class Station(Radio):
         old = self.power_state
         self.power_state = new_state
         self.state_transitions.append((self.sim.now, old, new_state, reason))
+        sim = self.sim
+        if sim.metrics.enabled:
+            sim.metrics.inc("psm_transitions_total",
+                            labels={"sta": self.name, "to": new_state,
+                                    "reason": reason})
+        if sim.trace.enabled:
+            sim.trace.record(sim.now, "psm", f"{old}->{new_state}",
+                             sta=self.name, reason=reason)
+        if new_state == PowerState.DOZE:
+            self._doze_started = sim.now
+        elif self._doze_started is not None:
+            if sim.spans.enabled:
+                sim.spans.record("psm.doze", self._doze_started, sim.now,
+                                 sta=self.name, reason=reason)
+            self._doze_started = None
         if self.on_state_change is not None:
             self.on_state_change(old, new_state, reason)
 
@@ -273,6 +291,7 @@ class Station(Radio):
     def _schedule_beacon_listen(self):
         wake_at = self._next_listen_tbtt() - self.psm.beacon_guard
         wake_at = max(wake_at, self.sim.now)
+        self._beacon_wait_start = self.sim.now
         self._beacon_listen_event = self.sim.at(
             wake_at, self._begin_beacon_listen, label=f"tbtt-wake:{self.name}"
         )
@@ -288,6 +307,11 @@ class Station(Radio):
         if not self._listening_for_beacon:
             return
         self._listening_for_beacon = False
+        if self.sim.spans.enabled and self._beacon_wait_start is not None:
+            self.sim.spans.record(
+                "psm.beacon_wait", self._beacon_wait_start, self.sim.now,
+                sta=self.name, tim=self.aid in beacon.tim_aids)
+        self._beacon_wait_start = None
         if self.aid in beacon.tim_aids:
             if self.psm.is_static:
                 # Legacy PSM: poll for one buffered frame, stay in PS.

@@ -27,6 +27,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--phone", "pixel"])
 
+    def test_obs_options(self):
+        args = build_parser().parse_args(
+            ["obs", "--phone", "nexus4", "--rtt", "60", "--tool", "ping",
+             "--out", "prefix"])
+        assert args.phone == "nexus4"
+        assert args.rtt == 60.0
+        assert args.tool == "ping"
+        assert args.out == "prefix"
+
+    def test_campaign_metrics_out_option(self):
+        args = build_parser().parse_args(
+            ["campaign", "--metrics-out", "metrics.prom"])
+        assert args.metrics_out == "metrics.prom"
+        assert build_parser().parse_args(["campaign"]).metrics_out is None
+
 
 class TestCommands:
     def test_phones_lists_all_profiles(self, capsys):
@@ -53,3 +68,27 @@ class TestCommands:
         out = capsys.readouterr().out
         for tool in ("acutemon", "ping", "httping", "javaping"):
             assert tool in out
+
+    def test_obs_prints_histograms_and_exports(self, capsys, tmp_path):
+        prefix = tmp_path / "cell"
+        assert main(["--count", "5", "obs", "--out", str(prefix)]) == 0
+        out = capsys.readouterr().out
+        assert "sdio_promotion_seconds" in out
+        assert "psm_beacon_wait_seconds" in out
+        assert "p50=" in out
+        prom = (tmp_path / "cell.prom").read_text()
+        assert "sdio_promotion_seconds_bucket" in prom
+        assert (tmp_path / "cell.jsonl").read_text().strip()
+        assert (tmp_path / "cell.trace.json").read_text().startswith("{")
+
+    def test_campaign_metrics_out_writes_merged_snapshot(self, capsys,
+                                                         tmp_path):
+        path = tmp_path / "merged.prom"
+        assert main(["--count", "4", "campaign", "--rtts", "20",
+                     "--tools", "acutemon", "--metrics-out",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote merged metrics" in out
+        text = path.read_text()
+        assert "sdio_promotion_seconds_bucket" in text
+        assert "psm_beacon_wait_seconds_bucket" in text

@@ -19,6 +19,7 @@ FAST_EXAMPLES = (
     "two_phones.py",
     "calibrate_and_plan.py",
     "energy_budget.py",
+    "observability_tour.py",
 )
 
 

@@ -1,0 +1,250 @@
+"""Unit tests for the observability layer: registry, spans, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    SpanTracker,
+    merge_snapshots,
+    span_metric_name,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    write_chrome_trace,
+    write_snapshot,
+)
+from repro.sim.trace import TraceRecorder
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        registry.inc("events_total")
+        registry.inc("events_total", 4)
+        assert registry.counter("events_total").value == 5
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", labels={"kind": "a"})
+        registry.inc("hits", labels={"kind": "b"})
+        registry.inc("hits", labels={"kind": "a"})
+        assert registry.counter("hits", labels={"kind": "a"}).value == 2
+        assert registry.counter("hits", labels={"kind": "b"}).value == 1
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.inc("x", labels={"a": 1, "b": 2})
+        assert registry.get("x", labels={"b": 2, "a": 1}).value == 1
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("clock", 1.5)
+        registry.set_gauge("clock", 2.5)
+        assert registry.gauge("clock").value == 2.5
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.inc("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+
+
+class TestHistogram:
+    def test_observe_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.002, 0.05, 0.5):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]  # one overflow in +Inf
+        assert hist.count == 4
+        assert hist.minimum == 0.0005
+        assert hist.maximum == 0.5
+        assert hist.sum == pytest.approx(0.5525)
+
+    def test_percentiles_interpolate_and_clamp(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.01, 0.1))
+        for _ in range(100):
+            hist.observe(0.05)
+        # All mass in one bucket: estimates must stay inside [min, max].
+        assert hist.p50 == pytest.approx(0.05)
+        assert hist.p99 == pytest.approx(0.05)
+
+    def test_empty_histogram_percentile_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("lat").p50 is None
+        assert registry.histogram("lat").mean is None
+
+    def test_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(0.1, 0.1))
+
+    def test_default_buckets_cover_paper_delays(self):
+        # Sub-ms driver costs through the ~102.4ms beacon interval.
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-4
+        assert any(0.1 <= b <= 0.15 for b in DEFAULT_LATENCY_BUCKETS)
+
+
+class TestSnapshotAndMerge:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.inc("c_total", 3)
+        registry.set_gauge("g", 7)
+        registry.observe("h_seconds", 0.02, buckets=(0.01, 0.1))
+        return registry
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        snap = self.build().snapshot()
+        assert [e["name"] for e in snap["metrics"]] == \
+            sorted(e["name"] for e in snap["metrics"])
+        json.dumps(snap)  # must not raise
+
+    def test_volatile_excluded_by_default(self):
+        registry = self.build()
+        registry.counter("wall_seconds", volatile=True).inc(0.5)
+        names = {e["name"] for e in registry.snapshot()["metrics"]}
+        assert "wall_seconds" not in names
+        names = {e["name"]
+                 for e in registry.snapshot(include_volatile=True)["metrics"]}
+        assert "wall_seconds" in names
+
+    def test_merge_sums_counters_and_buckets(self):
+        a, b = self.build().snapshot(), self.build().snapshot()
+        merged = merge_snapshots([a, b])
+        by_name = {e["name"]: e for e in merged["metrics"]}
+        assert by_name["c_total"]["value"] == 6
+        assert by_name["g"]["value"] == 7  # gauge: last wins
+        hist = by_name["h_seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.04)
+        assert sum(hist["counts"]) == 2
+
+    def test_merge_recomputes_percentiles(self):
+        registry_a = MetricsRegistry()
+        registry_b = MetricsRegistry()
+        for _ in range(99):
+            registry_a.observe("h", 0.005, buckets=(0.01, 0.1))
+        registry_b.observe("h", 0.05, buckets=(0.01, 0.1))
+        merged = merge_snapshots([registry_a.snapshot(),
+                                  registry_b.snapshot()])
+        (entry,) = merged["metrics"]
+        assert entry["p50"] < 0.01  # median stays in the low bucket
+        assert entry["max"] == 0.05
+
+    def test_merge_rejects_bucket_mismatch(self):
+        registry_a = MetricsRegistry()
+        registry_b = MetricsRegistry()
+        registry_a.observe("h", 0.005, buckets=(0.01,))
+        registry_b.observe("h", 0.005, buckets=(0.02,))
+        with pytest.raises(ValueError):
+            merge_snapshots([registry_a.snapshot(), registry_b.snapshot()])
+
+    def test_clear_resets_registry(self):
+        registry = self.build()
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.snapshot() == {"metrics": []}
+
+
+class TestSpanTracker:
+    def build(self):
+        metrics = MetricsRegistry()
+        trace = TraceRecorder()
+        return SpanTracker(metrics=metrics, trace=trace, enabled=True)
+
+    def test_record_feeds_metrics_and_trace(self):
+        spans = self.build()
+        spans.record("sdio.promotion", 1.0, 1.012, bus="sdio0")
+        hist = spans.metrics.get(span_metric_name("sdio.promotion"))
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.012)
+        (record,) = spans.trace.select(category="sdio")
+        assert record.message == "span sdio.promotion"
+        assert record.fields["duration"] == pytest.approx(0.012)
+
+    def test_begin_end_and_discard(self):
+        spans = self.build()
+        token = spans.begin("psm.buffered", 0.5, aid=1)
+        span = spans.end(token, 0.7, flushed=True)
+        assert span.duration == pytest.approx(0.2)
+        assert span.fields == {"aid": 1, "flushed": True}
+        assert spans.end(token, 0.9) is None  # token already consumed
+        other = spans.begin("psm.buffered", 1.0)
+        spans.discard(other)
+        assert spans.end(other, 2.0) is None
+        assert len(spans) == 1
+
+    def test_limit_counts_dropped(self):
+        spans = SpanTracker(enabled=True, limit=2)
+        for index in range(5):
+            spans.record("x.y", index, index + 0.1)
+        assert len(spans) == 2
+        assert spans.dropped == 3
+        spans.clear()
+        assert len(spans) == 0 and spans.dropped == 0
+
+    def test_category_is_first_dotted_component(self):
+        spans = self.build()
+        span = spans.record("measurement.probe", 0.0, 1.0)
+        assert span.category == "measurement"
+        assert spans.names() == ["measurement.probe"]
+
+
+class TestExporters:
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("c_total", 2, labels={"kind": "probe"})
+        registry.set_gauge("g", 1.0)
+        registry.observe("h_seconds", 0.02, buckets=(0.01, 0.1))
+        registry.observe("h_seconds", 0.5, buckets=(0.01, 0.1))
+        return registry.snapshot()
+
+    def test_prometheus_cumulative_buckets(self):
+        text = to_prometheus(self.snapshot())
+        assert '# TYPE h_seconds histogram' in text
+        assert 'c_total{kind="probe"} 2' in text
+        assert 'h_seconds_bucket{le="0.01"} 0' in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert 'h_seconds_count 2' in text
+
+    def test_jsonl_one_object_per_metric(self):
+        lines = to_jsonl(self.snapshot()).strip().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_chrome_trace_structure(self):
+        spans = SpanTracker(enabled=True)
+        spans.record("sdio.promotion", 0.001, 0.013, bus="sdio0")
+        spans.record("psm.beacon_wait", 0.1, 0.2)
+        trace = to_chrome_trace(spans)
+        assert trace["displayTimeUnit"] == "ms"
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} == {"sdio", "psm"}
+        assert len(complete) == 2
+        promo = next(e for e in complete if e["name"] == "sdio.promotion")
+        assert promo["ts"] == pytest.approx(1000.0)  # microseconds
+        assert promo["dur"] == pytest.approx(12000.0)
+        assert promo["args"]["bus"] == "sdio0"
+
+    def test_write_snapshot_picks_format_by_suffix(self, tmp_path):
+        snap = self.snapshot()
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "metrics.jsonl"
+        assert write_snapshot(prom, snap) == "prometheus"
+        assert write_snapshot(jsonl, snap) == "jsonl"
+        assert "# TYPE" in prom.read_text()
+        assert json.loads(jsonl.read_text().splitlines()[0])
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        spans = SpanTracker(enabled=True)
+        spans.record("a.b", 0.0, 0.5)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, spans)
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]

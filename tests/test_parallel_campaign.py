@@ -95,11 +95,22 @@ class TestSharding:
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
                               tools=("ping",))
         cells = list(campaign.cells())
-        payloads = _run_shard((campaign.count, cells))
+        payloads = _run_shard((campaign.count, False, cells))
         assert len(payloads) == 1
         restored = CellResult.from_dict(payloads[0])
         assert restored.key() == ("nexus5", 0.02, "ping", False)
         assert len(restored.rtts) == campaign.count
+        assert restored.metrics is None
+
+    def test_run_shard_carries_metrics_when_asked(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        cells = list(campaign.cells())
+        payloads = _run_shard((campaign.count, True, cells))
+        restored = CellResult.from_dict(payloads[0])
+        assert restored.metrics is not None
+        names = {entry["name"] for entry in restored.metrics["metrics"]}
+        assert "scheduler_events_fired" in names
 
 
 class TestFallbacksAndProgress:
@@ -179,6 +190,50 @@ class TestResultIndex:
             CellResult("nexus5", 0.03, "ping", False, 9, [0.099]),
         ]
         assert campaign.result_for("nexus5", 0.03, "ping").seed == 0
+
+
+class TestMetricsDeterminism:
+    """collect_metrics snapshots must be identical serial vs parallel."""
+
+    GRID = dict(phones=("nexus5",), rtts=(0.02, 0.05),
+                tools=("acutemon", "ping"), count=3)
+
+    def test_parallel_merged_metrics_match_serial(self):
+        serial = small_grid(**self.GRID)
+        serial.run(workers=1, collect_metrics=True)
+        reference = json.dumps(serial.merged_metrics(), sort_keys=True)
+        assert serial.merged_metrics() is not None
+        for workers in (2, 4):
+            campaign = small_grid(**self.GRID)
+            campaign.run(workers=workers, collect_metrics=True)
+            merged = json.dumps(campaign.merged_metrics(), sort_keys=True)
+            assert merged == reference, (
+                f"workers={workers} merged metrics diverged")
+
+    def test_collect_metrics_does_not_change_measurements(self):
+        plain = small_grid(**self.GRID)
+        plain.run(workers=1)
+        observed = small_grid(**self.GRID)
+        observed.run(workers=1, collect_metrics=True)
+        for a, b in zip(plain.results, observed.results):
+            assert a.rtts == b.rtts
+            assert a.layers == b.layers
+
+    def test_merged_metrics_none_without_collection(self):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        campaign.run(workers=1)
+        assert campaign.merged_metrics() is None
+
+    def test_metrics_survive_save_load(self, tmp_path):
+        campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        campaign.run(workers=1, collect_metrics=True)
+        path = tmp_path / "campaign.json"
+        campaign.save(path)
+        loaded = Campaign.load(path)
+        assert json.dumps(loaded.merged_metrics(), sort_keys=True) == \
+            json.dumps(campaign.merged_metrics(), sort_keys=True)
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4])

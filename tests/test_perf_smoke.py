@@ -11,6 +11,7 @@ The measured rates are written to ``BENCH_simulator.json`` at the repo
 root — the start of the perf trajectory tracked across PRs.
 """
 
+import heapq
 import json
 import pathlib
 import time
@@ -100,12 +101,81 @@ def test_smoke_campaign_cell_rate():
     assert _rates["campaign_cells_per_sec"] > 1
 
 
+class _ReferenceSimulator(Simulator):
+    """Replica of the growth-seed run() loop with no observability
+    dispatch at all — the zero-overhead yardstick for the bench below."""
+
+    def run(self, until=None):
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        heappop = heapq.heappop
+        try:
+            while not self._stopped and heap:
+                event = heap[0]
+                if event.canceled:
+                    self._discard_head()
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heappop(heap)
+                event.in_heap = False
+                self._now = event.time
+                self.events_fired += 1
+                if event.kwargs:
+                    event.fn(*event.args, **event.kwargs)
+                else:
+                    event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+
+@pytest.mark.perf_smoke
+def test_smoke_obs_disabled_overhead():
+    """Disabled metrics/spans/tracing must stay ~free on the hot loop.
+
+    Best-of-3 interleaved runs of the scheduler workload on the stock
+    Simulator (obs attached but disabled) versus the reference replica
+    above; the gate is the relative throughput loss.  3% is far above
+    the one-attribute-check-per-run() cost actually added — the assert
+    only trips if instrumentation leaks into the per-event path.
+    """
+
+    def workload(sim_cls):
+        def run():
+            sim = sim_cls(seed=1)
+            count = [0]
+
+            def tick():
+                count[0] += 1
+                if count[0] < _EVENTS:
+                    sim.schedule(1e-4, tick)
+
+            sim.schedule(0.0, tick)
+            sim.run()
+            assert count[0] == _EVENTS
+
+        return run
+
+    ref_rate = sim_rate = 0.0
+    for _ in range(3):
+        ref_rate = max(ref_rate, _rate(_EVENTS, workload(_ReferenceSimulator)))
+        sim_rate = max(sim_rate, _rate(_EVENTS, workload(Simulator)))
+    overhead = max(0.0, (ref_rate - sim_rate) / ref_rate * 100.0)
+    _rates["obs_disabled_overhead_pct"] = overhead
+    assert overhead <= 3.0
+
+
 @pytest.mark.perf_smoke
 def test_smoke_emits_bench_json():
     """Persist the rates measured above (runs last in this module)."""
     assert set(_rates) == {"scheduler_events_per_sec",
                            "wire_round_trips_per_sec",
-                           "campaign_cells_per_sec"}
+                           "campaign_cells_per_sec",
+                           "obs_disabled_overhead_pct"}
     payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
     payload["seed_baseline"] = _SEED_BASELINE
     payload["workload"] = {

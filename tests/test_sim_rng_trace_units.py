@@ -85,6 +85,45 @@ class TestTraceRecorder:
         trace.clear()
         assert len(trace) == 0
 
+    def test_dropped_tracked_per_category(self):
+        trace = TraceRecorder(enabled=True, limit=2)
+        trace.record(0.0, "a", "kept")
+        trace.record(0.1, "b", "kept")
+        trace.record(0.2, "a", "dropped")
+        trace.record(0.3, "a", "dropped")
+        trace.record(0.4, "c", "dropped")
+        assert trace.dropped == 3
+        assert trace.dropped_by_category == {"a": 2, "c": 1}
+
+    def test_summary_with_dropped(self):
+        trace = TraceRecorder(enabled=True, limit=1)
+        trace.record(0.0, "a", "kept")
+        trace.record(0.1, "b", "dropped")
+        summary = trace.summary(dropped=True)
+        assert summary["recorded"] == {"a": 1}
+        assert summary["dropped"] == {"b": 1}
+
+    def test_select_uses_category_index(self):
+        trace = TraceRecorder(enabled=True)
+        for index in range(10):
+            trace.record(index, "a" if index % 2 else "b", f"m{index}")
+        selected = trace.select(category="a")
+        assert [r.message for r in selected] == ["m1", "m3", "m5", "m7", "m9"]
+        assert trace.count("a") == 5
+        assert trace.select(category="a", message="m3")[0].time == 3
+        assert trace.select(category="missing") == []
+
+    def test_clear_resets_dropped_and_index(self):
+        trace = TraceRecorder(enabled=True, limit=1)
+        trace.record(0.0, "a", "kept")
+        trace.record(0.1, "a", "dropped")
+        trace.clear()
+        assert trace.dropped == 0
+        assert trace.dropped_by_category == {}
+        assert trace.select(category="a") == []
+        trace.record(0.2, "a", "fresh start")
+        assert trace.count("a") == 1
+
 
 class TestUnits:
     def test_ms_us(self):

@@ -1,0 +1,60 @@
+"""Tier-1 wiring for ``scripts/check_trace_guards.py``.
+
+The lint enforces the guard discipline documented in
+``docs/OBSERVABILITY.md``: every observability call site in ``src/``
+sits behind an ``.enabled`` check (or carries the caller-guarded
+pragma), so disabled observability costs one attribute check.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_trace_guards.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("check_trace_guards",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_src_tree_has_no_unguarded_call_sites():
+    lint = _load()
+    violations = lint.find_violations(REPO_ROOT / "src")
+    formatted = "\n".join(f"{path}:{lineno}: {line}"
+                          for path, lineno, line in violations)
+    assert not violations, f"unguarded observability call sites:\n{formatted}"
+
+
+def test_main_exit_code_clean_tree():
+    lint = _load()
+    assert lint.main([str(REPO_ROOT / "src")]) == 0
+
+
+def test_lint_catches_unguarded_call(tmp_path):
+    bad = tmp_path / "pkg" / "module.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "def f(sim):\n"
+        "    sim.trace.record(sim.now, 'x', 'unguarded')\n"
+        "    sim.metrics.inc('y_total')\n",
+        encoding="utf-8")
+    lint = _load()
+    violations = lint.find_violations(tmp_path)
+    assert len(violations) == 2
+    assert lint.main([str(tmp_path)]) == 1
+
+
+def test_lint_accepts_guard_and_pragma(tmp_path):
+    good = tmp_path / "module.py"
+    good.write_text(
+        "def f(sim):\n"
+        "    if sim.trace.enabled:\n"
+        "        sim.trace.record(sim.now, 'x', 'guarded')\n"
+        "    sim.metrics.inc('y_total')  # obs: caller-guarded\n",
+        encoding="utf-8")
+    lint = _load()
+    assert lint.find_violations(tmp_path) == []
