@@ -25,12 +25,12 @@ def run_sweep():
     rows = {}
     for index, rtt_ms in enumerate(RTTS_MS):
         rtt = rtt_ms * 1e-3
-        ping2_tool, _ = ping2_experiment(
+        ping2 = ping2_experiment(
             "nexus5", emulated_rtt=rtt, count=PROBES, seed=9700 + index)
         acute = acutemon_experiment(
             "nexus5", emulated_rtt=rtt, count=PROBES, seed=9700 + index)
         rows[rtt_ms] = {
-            "ping2_err": statistics.median(ping2_tool.rtts()) - rtt,
+            "ping2_err": statistics.median(ping2.tool.rtts()) - rtt,
             "acute_err": statistics.median(acute.user_rtts) - rtt,
         }
     return rows

@@ -27,6 +27,7 @@ from repro.core.overhead import decompose
 from repro.core.warmup import WarmupPolicy
 from repro.obs import MetricsRegistry, enable_observability
 from repro.phone.profiles import PHONES, phone_profile
+from repro.testbed.environment import build_environment, environment_keys
 from repro.testbed.experiments import (
     acutemon_experiment,
     ping2_experiment,
@@ -34,6 +35,7 @@ from repro.testbed.experiments import (
     tool_comparison,
     tool_experiment,
 )
+from repro.testbed.scenario import ScenarioSpec, run_scenario, tool_keys
 from repro.testbed.topology import Testbed
 
 __version__ = "1.0.0"
@@ -44,16 +46,21 @@ __all__ = [
     "MetricsRegistry",
     "PHONES",
     "ProbeCollector",
+    "ScenarioSpec",
     "Testbed",
     "TimerCalibrator",
     "WarmupPolicy",
     "acutemon_experiment",
+    "build_environment",
     "decompose",
     "enable_observability",
+    "environment_keys",
     "phone_profile",
     "ping2_experiment",
     "ping_experiment",
+    "run_scenario",
     "tool_comparison",
     "tool_experiment",
+    "tool_keys",
     "__version__",
 ]

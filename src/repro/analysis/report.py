@@ -121,21 +121,22 @@ def campaign_report(campaign, title="Measurement campaign"):
     for result in campaign.results:
         stats = result.summary()
         rows.append((
-            result.phone, f"{result.rtt * 1e3:.0f}", result.tool,
+            result.env, result.phone, f"{result.rtt * 1e3:.0f}",
+            result.tool,
             "yes" if result.cross_traffic else "no",
             f"{stats.median * 1e3:.2f}",
             f"{result.error() * 1e3:.2f}",
         ))
     report.add_table(
-        ("phone", "RTT (ms)", "tool", "cross traffic", "median (ms)",
-         "error (ms)"),
+        ("env", "phone", "RTT (ms)", "tool", "cross traffic",
+         "median (ms)", "error (ms)"),
         rows,
     )
     worst, error = campaign.worst_error()
     if worst is not None:
         report.add_section(
             "Worst cell",
-            f"{worst.phone} at {worst.rtt * 1e3:.0f} ms with {worst.tool}: "
-            f"median error {error * 1e3:.2f} ms.",
+            f"{worst.phone} at {worst.rtt * 1e3:.0f} ms with {worst.tool} "
+            f"over {worst.env}: median error {error * 1e3:.2f} ms.",
         )
     return report

@@ -1,38 +1,45 @@
 """Cellular testbed: phone — tower — wired server."""
 
-from repro.net.addresses import MacAddress, ip
-from repro.net.arp import ArpTable
-from repro.net.host import Host
-from repro.net.link import Link
-from repro.net.netem import NetemQdisc
-from repro.net.servers import MeasurementServer
-from repro.net.switch import Switch
+from repro.net.addresses import ip
 from repro.cellular.interface import CellTower
 from repro.cellular.phone import CellularPhone
 from repro.cellular.rrc import RrcConfig, RrcMachine
-from repro.phone.profiles import PhoneProfile, phone_profile
+from repro.phone.profiles import coerce_profile
 from repro.sim.scheduler import Simulator
+from repro.testbed.environment import (
+    CELLULAR_CAPABILITIES,
+    SERVER_IP,
+    WIRED_NET,
+    Environment,
+    WiredCore,
+)
 
 CELL_NET = "10.64.0.0/16"
 TOWER_CELL_IP = ip("10.64.0.1")
 PHONE_CELL_IP = ip("10.64.0.2")
-WIRED_NET = "10.0.0.0/24"
 TOWER_WIRED_IP = ip("10.0.0.1")
-SERVER_IP = ip("10.0.0.2")
 
 
-class CellularTestbed:
+class CellularTestbed(Environment):
     """A minimal cellular measurement environment.
 
-    Mirrors the WiFi :class:`~repro.testbed.topology.Testbed` so
-    experiments read the same: a measurement server behind the tower's
-    wired port, with ``tc netem``-style emulated RTT on its egress.
+    Implements the same :class:`~repro.testbed.environment.Environment`
+    protocol as the WiFi :class:`~repro.testbed.topology.Testbed` —
+    shared wired core, ``server_ip``, ``attach_phone()`` — so
+    experiments, scenarios and campaigns read identically; it is
+    registered under ``cellular-3g`` and ``cellular-lte``.
+
+    For backward compatibility the constructor attaches one default
+    phone (exposed as ``self.phone``); environment builders pass
+    ``attach_default_phone=False`` and attach per-scenario phones
+    instead.
     """
 
-    __test__ = False
+    key = "cellular-3g"
+    capabilities = CELLULAR_CAPABILITIES
 
     def __init__(self, seed=0, emulated_rtt=0.0, rrc_config=None,
-                 phone_profile_key="nexus5"):
+                 phone_profile_key="nexus5", attach_default_phone=True):
         self.sim = Simulator(seed=seed)
         self.rrc = RrcMachine(
             self.sim, config=rrc_config or RrcConfig(),
@@ -40,44 +47,51 @@ class CellularTestbed:
         )
         self.tower = CellTower(self.sim, TOWER_CELL_IP, CELL_NET,
                                rng=self.sim.rng.stream("tower"))
-        self.wired_arp = ArpTable()
-        self.switch = Switch(self.sim)
+        self.wired_core = WiredCore(self.sim, gateway_ip=TOWER_WIRED_IP,
+                                    network=WIRED_NET)
+        self.wired_core.connect_gateway(self.tower, link_name="tower-switch")
+        self.server_host, self.server, self.netem = \
+            self.wired_core.add_measurement_server(SERVER_IP,
+                                                   delay=emulated_rtt)
 
-        tower_link = Link(self.sim, name="tower-switch")
-        self.tower.add_wired_port("eth0", TOWER_WIRED_IP, WIRED_NET,
-                                  self.wired_arp, link=tower_link)
-        self.switch.new_port(tower_link)
+        self.phones = []
+        self.phone = None
+        if attach_default_phone:
+            self.phone = self.attach_phone(phone_profile_key)
 
-        self.server_host = Host(
-            self.sim, "server", SERVER_IP,
-            MacAddress.from_index(2, oui=0x02CD00), self.wired_arp,
-            gateway=TOWER_WIRED_IP, rng=self.sim.rng.stream("server"),
-        )
-        server_link = Link(self.sim, name="server-switch")
-        self.server_host.nic.attach_link(server_link)
-        self.switch.new_port(server_link)
-        self.server = MeasurementServer(self.server_host)
-        self.netem = NetemQdisc(self.sim, delay=emulated_rtt,
-                                rng=self.sim.rng.stream("netem"),
-                                name="server-egress")
-        self.server_host.netem = self.netem
-
-        profile = phone_profile(phone_profile_key) \
-            if not isinstance(phone_profile_key, PhoneProfile) \
-            else phone_profile_key
-        self.phone = CellularPhone(self.sim, profile, self.tower, self.rrc,
-                                   PHONE_CELL_IP,
-                                   rng=self.sim.rng.stream("cellphone"))
+    # -- wired-core conveniences ----------------------------------------------
 
     @property
-    def server_ip(self):
-        return self.server_host.ip_addr
+    def switch(self):
+        return self.wired_core.switch
 
-    def run(self, duration):
-        return self.sim.run(until=self.sim.now + duration)
+    @property
+    def wired_arp(self):
+        return self.wired_core.arp
 
-    def settle(self, duration=0.5):
-        return self.run(duration)
+    # -- phones ---------------------------------------------------------------
+
+    def attach_phone(self, profile="nexus5", phone_ip=None, **phone_kwargs):
+        """Attach a phone to the cell.
+
+        ``profile`` is a profile key or a :class:`PhoneProfile`; extra
+        keyword arguments go to
+        :class:`~repro.cellular.phone.CellularPhone` (e.g.
+        ``runtime='dalvik'``).  Phones share the tower's RRC machine,
+        as in a single-UE cell.
+        """
+        profile = coerce_profile(profile)
+        if phone_ip is None:
+            phone_ip = ip(int(PHONE_CELL_IP) + len(self.phones))
+        stream = ("cellphone" if not self.phones
+                  else f"cellphone:{len(self.phones)}")
+        phone = CellularPhone(self.sim, profile, self.tower, self.rrc,
+                              phone_ip, rng=self.sim.rng.stream(stream),
+                              **phone_kwargs)
+        self.phones.append(phone)
+        if self.phone is None:
+            self.phone = phone
+        return phone
 
     def __repr__(self):
         return f"<CellularTestbed t={self.sim.now:.2f}s rrc={self.rrc.state}>"

@@ -16,9 +16,11 @@ from repro.analysis.render import (
 )
 from repro.analysis.stats import SummaryStats
 from repro.phone.profiles import PHONES
+from repro.testbed.environment import environment_keys
 from repro.testbed.experiments import (
     acutemon_experiment, ping2_experiment, ping_experiment, tool_comparison,
 )
+from repro.testbed.scenario import tool_keys
 
 
 def cmd_table2(args):
@@ -96,11 +98,11 @@ def cmd_ping2(args):
     print("ping2 vs AcuteMon median error (ms) across path lengths")
     for rtt_ms in (20, 50, 85, 135):
         rtt = rtt_ms * 1e-3
-        tool, _ = ping2_experiment(args.phone, emulated_rtt=rtt,
-                                   count=args.count, seed=args.seed)
+        ping2 = ping2_experiment(args.phone, emulated_rtt=rtt,
+                                 count=args.count, seed=args.seed)
         acute = acutemon_experiment(args.phone, emulated_rtt=rtt,
                                     count=args.count, seed=args.seed)
-        ping2_err = statistics.median(tool.rtts()) - rtt
+        ping2_err = statistics.median(ping2.tool.rtts()) - rtt
         acute_err = statistics.median(acute.user_rtts) - rtt
         print(f"  {rtt_ms:4d}ms: ping2 {ping2_err * 1e3:+6.2f}   "
               f"acutemon {acute_err * 1e3:+6.2f}")
@@ -111,6 +113,7 @@ def cmd_campaign(args):
     from repro.testbed.campaign import Campaign
 
     campaign = Campaign(
+        envs=tuple(args.env),
         phones=tuple(args.phones), rtts=tuple(r * 1e-3 for r in args.rtts),
         tools=tuple(args.tools), count=args.count, base_seed=args.seed,
     )
@@ -119,14 +122,14 @@ def cmd_campaign(args):
     campaign.run(
         workers=workers,
         collect_metrics=bool(args.metrics_out),
-        progress=lambda phone, rtt, tool, cross: print(
-            f"  {verb} {phone} @ {rtt * 1e3:.0f}ms with {tool}..."))
-    table = Table(["Phone", "RTT", "Tool", "median (ms)",
+        progress=lambda spec: print(f"  {verb} {spec.describe()}..."))
+    table = Table(["Env", "Phone", "RTT", "Tool", "median (ms)",
                    "error (ms)", "n"],
                   title="Campaign results")
     for result in campaign.results:
         stats = result.summary()
-        table.add_row(result.phone, f"{result.rtt * 1e3:.0f}ms",
+        table.add_row(result.env, result.phone,
+                      f"{result.rtt * 1e3:.0f}ms",
                       result.tool, f"{stats.median * 1e3:.2f}",
                       f"{result.error() * 1e3:.2f}", stats.n)
     print(table)
@@ -170,6 +173,59 @@ def cmd_obs(args):
               f"({', '.join(written)})")
 
 
+def cmd_scenario(args):
+    from repro.testbed.environment import ENVIRONMENTS, environment_keys
+    from repro.testbed.scenario import TOOLS, ScenarioSpec, run_scenario
+
+    if args.scenario_command == "list":
+        envs = Table(["Key", "Capabilities", "Description"],
+                     title="Environments")
+        for key in environment_keys():
+            entry = ENVIRONMENTS[key]
+            envs.add_row(key, ", ".join(sorted(entry.capabilities)) or "-",
+                         entry.description)
+        print(envs)
+        tools = Table(["Key", "Side", "Description"], title="Tools")
+        for key in sorted(TOOLS):
+            entry = TOOLS[key]
+            tools.add_row(key, entry.side, entry.description)
+        print(tools)
+        print("Phones: " + ", ".join(sorted(PHONES)))
+        return
+
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    else:
+        spec = ScenarioSpec(
+            env=args.env, phone=args.phone, tool=args.tool,
+            emulated_rtt=args.rtt * 1e-3, count=args.count,
+            interval=args.interval, seed=args.seed,
+            cross_traffic=args.cross_traffic,
+            bus_sleep=not args.no_bus_sleep, observe=args.observe,
+        )
+    if args.save_spec:
+        with open(args.save_spec, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json(indent=2) + "\n")
+        print(f"saved spec to {args.save_spec}")
+    print(f"running {spec.describe()} (seed {spec.seed})")
+    result = run_scenario(spec)
+    rtts = result.user_rtts
+    stats = SummaryStats(rtts)
+    lost = len(result.samples) - len(rtts)
+    print(f"  probes: {len(result.samples)} ({lost} lost)")
+    print(f"  user RTT: median {stats.median * 1e3:.2f}ms "
+          f"mean {stats.mean * 1e3:.2f}ms "
+          f"[{stats.minimum * 1e3:.2f}, {stats.maximum * 1e3:.2f}]")
+    print(f"  error vs emulated: "
+          f"{(stats.median - spec.emulated_rtt) * 1e3:+.2f}ms")
+    if spec.observe:
+        sim = result.testbed.sim
+        print(f"  observed: {sim.events_fired} events fired, "
+              f"{len(sim.spans)} spans, "
+              f"{len(sim.trace.records)} trace records")
+
+
 def cmd_phones(_args):
     table = Table(["Key", "Model", "WNIC", "Tis", "Tip", "L assoc"],
                   title="Phone profiles (Table 1 + Table 4)")
@@ -190,7 +246,9 @@ COMMANDS = {
     "overheads": (cmd_overheads, "AcuteMon overhead box stats (Figure 7)"),
     "compare": (cmd_compare, "tool comparison CDFs (Figure 8)"),
     "ping2": (cmd_ping2, "ping2 vs AcuteMon error sweep"),
-    "campaign": (cmd_campaign, "run a phone x RTT x tool grid"),
+    "campaign": (cmd_campaign, "run an env x phone x RTT x tool grid"),
+    "scenario": (cmd_scenario, "run one declarative scenario, or list "
+                               "the registries"),
     "obs": (cmd_obs, "run one observed cell and export its metrics"),
     "phones": (cmd_phones, "list the modelled phone profiles"),
 }
@@ -227,7 +285,43 @@ def build_parser():
             cmd.add_argument("--out", default=None, metavar="PREFIX",
                              help="write PREFIX.prom, PREFIX.jsonl and "
                                   "PREFIX.trace.json")
+        if name == "scenario":
+            scenario_sub = cmd.add_subparsers(dest="scenario_command",
+                                              required=True)
+            scenario_sub.add_parser(
+                "list", help="list registered environments, tools, phones")
+            run = scenario_sub.add_parser(
+                "run", help="execute one scenario cell")
+            run.add_argument("--env", default="wifi",
+                             choices=environment_keys(),
+                             help="environment key (default wifi)")
+            run.add_argument("--tool", default="acutemon",
+                             choices=tool_keys(),
+                             help="registered tool (default acutemon)")
+            run.add_argument("--phone", default="nexus5",
+                             choices=sorted(PHONES))
+            run.add_argument("--rtt", type=float, default=30.0,
+                             help="emulated RTT in ms (default 30)")
+            run.add_argument("--interval", type=float, default=1.0,
+                             help="probe interval in s (default 1)")
+            run.add_argument("--cross-traffic", action="store_true",
+                             help="congest the WLAN with iPerf load "
+                                  "(WiFi only)")
+            run.add_argument("--no-bus-sleep", action="store_true",
+                             help="disable SDIO bus sleep (WiFi only)")
+            run.add_argument("--observe", action="store_true",
+                             help="attach metrics/span/trace recorders")
+            run.add_argument("--spec", default=None, metavar="PATH",
+                             help="load the scenario from a JSON spec "
+                                  "file (overrides the flags above)")
+            run.add_argument("--save-spec", default=None, metavar="PATH",
+                             help="write the resolved spec JSON before "
+                                  "running")
         if name == "campaign":
+            cmd.add_argument("--env", nargs="+", default=["wifi"],
+                             choices=environment_keys(),
+                             help="environment keys to sweep "
+                                  "(default wifi)")
             cmd.add_argument("--phones", nargs="+", default=["nexus5"],
                              choices=sorted(PHONES))
             cmd.add_argument("--rtts", nargs="+", type=float,

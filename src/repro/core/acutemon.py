@@ -101,6 +101,27 @@ class AcuteMon:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def run_sync(self, count=None, deadline=None):
+        """Start and drive the simulator until the run completes.
+
+        Same contract as
+        :meth:`~repro.tools.base.MeasurementTool.run_sync`, which is
+        what lets the tool registry treat AcuteMon as just another
+        registered tool.  ``count`` is accepted for signature
+        compatibility but the probe count always comes from the config
+        (:class:`AcuteMonConfig.probe_count`).  Returns the results.
+        """
+        done = []
+        self.start(on_complete=lambda results: done.append(results))
+        while not done:
+            if deadline is not None and self.sim.now > deadline:
+                raise RuntimeError(
+                    f"{self.name} did not finish by {deadline}s")
+            if not self.sim.step():
+                raise RuntimeError(
+                    f"{self.name} stalled: event heap empty")
+        return self.results
+
     def start(self, on_complete=None):
         """Kick off the warm-up phase, then the measurement phase."""
         if self.running:

@@ -138,3 +138,14 @@ def phone_profile(key):
         raise KeyError(
             f"unknown phone {key!r}; known: {sorted(PHONES)}"
         ) from None
+
+
+def coerce_profile(profile):
+    """Accept a profile key or a :class:`PhoneProfile`; return the profile.
+
+    The single coercion point every testbed routes through, so the
+    key-vs-object duality behaves identically everywhere.
+    """
+    if isinstance(profile, PhoneProfile):
+        return profile
+    return phone_profile(profile)

@@ -1,27 +1,57 @@
-"""The multiple-sniffer WiFi testbed of the paper's Figure 2.
+"""The measurement environments and experiment layers.
 
-:class:`~repro.testbed.topology.Testbed` assembles the full environment:
-measurement server and load server behind a switch, the AP bridging to
-the WLAN, three wireless sniffers, an optional iPerf-style load
-generator, and instrumented phones.  :mod:`repro.testbed.experiments`
-provides the experiment runners the benchmarks are built on.
+:class:`~repro.testbed.topology.Testbed` assembles the paper's Figure 2
+WiFi environment: measurement server and load server behind a switch,
+the AP bridging to the WLAN, three wireless sniffers, an optional
+iPerf-style load generator, and instrumented phones.  The
+:mod:`~repro.testbed.environment` registry adds the cellular
+environments behind the same protocol, and
+:mod:`~repro.testbed.scenario` describes experiment cells declaratively;
+:mod:`repro.testbed.experiments` provides the experiment runners the
+benchmarks are built on.
 """
 
 from repro.testbed.campaign import Campaign, CellResult
+from repro.testbed.environment import (
+    ENVIRONMENTS,
+    Environment,
+    build_environment,
+    environment_keys,
+    register_environment,
+)
 from repro.testbed.experiments import (
     acutemon_experiment,
     ping_experiment,
     tool_comparison,
 )
 from repro.testbed.parallel import ParallelCampaignRunner
+from repro.testbed.scenario import (
+    TOOLS,
+    ScenarioError,
+    ScenarioSpec,
+    register_tool,
+    run_scenario,
+    tool_keys,
+)
 from repro.testbed.topology import Testbed
 
 __all__ = [
     "Campaign",
     "CellResult",
+    "ENVIRONMENTS",
+    "Environment",
     "ParallelCampaignRunner",
+    "ScenarioError",
+    "ScenarioSpec",
+    "TOOLS",
     "Testbed",
     "acutemon_experiment",
+    "build_environment",
+    "environment_keys",
     "ping_experiment",
+    "register_environment",
+    "register_tool",
+    "run_scenario",
     "tool_comparison",
+    "tool_keys",
 ]

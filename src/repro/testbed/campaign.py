@@ -1,11 +1,13 @@
 """Batch experiment campaigns.
 
-A *campaign* is a grid of experiment cells (phone x emulated RTT x tool
-x scenario) run deterministically and collected into a serialisable
-result set — the structure behind "we run the full Table 5 sweep
-nightly" workflows.  Results round-trip through JSON so separate
-processes (or machines) can split the grid and merge; per-cell seeds
-make every cell independent, which is what lets
+A *campaign* is a grid of experiment cells (environment x phone x
+emulated RTT x tool x cross-traffic) run deterministically and collected
+into a serialisable result set — the structure behind "we run the full
+Table 5 sweep nightly" workflows.  The grid enumerates
+:class:`~repro.testbed.scenario.ScenarioSpec` objects, so one campaign
+can sweep WiFi and cellular cells side by side.  Results round-trip
+through JSON so separate processes (or machines) can split the grid and
+merge; per-cell seeds make every cell independent, which is what lets
 :class:`~repro.testbed.parallel.ParallelCampaignRunner` shard the grid
 across worker processes with bit-identical output.
 """
@@ -15,17 +17,17 @@ import json
 
 from repro.analysis.stats import SummaryStats
 from repro.obs.metrics import merge_snapshots
-from repro.testbed.experiments import tool_experiment
+from repro.testbed.scenario import ScenarioSpec, run_scenario
 
 
 class CellResult:
     """The outcome of one campaign cell."""
 
     __slots__ = ("phone", "rtt", "tool", "cross_traffic", "seed",
-                 "rtts", "layers", "metrics")
+                 "rtts", "layers", "metrics", "env")
 
     def __init__(self, phone, rtt, tool, cross_traffic, seed, rtts,
-                 layers=None, metrics=None):
+                 layers=None, metrics=None, env="wifi"):
         self.phone = phone
         self.rtt = rtt
         self.tool = tool
@@ -34,6 +36,7 @@ class CellResult:
         self.rtts = rtts
         self.layers = layers or {}
         self.metrics = metrics  # snapshot dict when run with collect_metrics
+        self.env = env
 
     def summary(self):
         return SummaryStats(self.rtts)
@@ -45,6 +48,7 @@ class CellResult:
 
     def to_dict(self):
         payload = {
+            "env": self.env,
             "phone": self.phone, "rtt": self.rtt, "tool": self.tool,
             "cross_traffic": self.cross_traffic, "seed": self.seed,
             "rtts": self.rtts, "layers": self.layers,
@@ -57,35 +61,39 @@ class CellResult:
     def from_dict(cls, data):
         return cls(data["phone"], data["rtt"], data["tool"],
                    data["cross_traffic"], data["seed"], data["rtts"],
-                   data.get("layers"), data.get("metrics"))
+                   data.get("layers"), data.get("metrics"),
+                   env=data.get("env", "wifi"))
 
     def key(self):
-        return (self.phone, self.rtt, self.tool, self.cross_traffic)
+        return (self.env, self.phone, self.rtt, self.tool,
+                self.cross_traffic)
 
     def __repr__(self):
-        return (f"<CellResult {self.phone} {self.rtt * 1e3:.0f}ms "
+        return (f"<CellResult {self.env}:{self.phone} {self.rtt * 1e3:.0f}ms "
                 f"{self.tool} n={len(self.rtts)}>")
 
 
-def run_cell(phone, rtt, tool, cross_traffic, seed, count,
-             collect_metrics=False):
+def run_cell(spec, collect_metrics=False):
     """Execute one campaign cell and return its :class:`CellResult`.
 
     Module-level (rather than a Campaign method) so worker processes can
-    import and run cells without materialising a campaign object.  With
-    ``collect_metrics`` the cell's simulator runs with observability
-    enabled and the result carries a deterministic metrics snapshot
-    (instrumentation never touches RNG streams or the event schedule, so
-    the measured RTTs are identical either way).
+    import and run cells from a serialized
+    :class:`~repro.testbed.scenario.ScenarioSpec` without materialising
+    a campaign object.  With ``collect_metrics`` the cell's simulator
+    runs with observability enabled and the result carries a
+    deterministic metrics snapshot (instrumentation never touches RNG
+    streams or the event schedule, so the measured RTTs are identical
+    either way).
     """
-    result = tool_experiment(
-        tool, phone, emulated_rtt=rtt, count=count, seed=seed,
-        cross_traffic=cross_traffic, observe=collect_metrics)
+    if collect_metrics and not spec.observe:
+        spec = spec.replace(observe=True)
+    result = run_scenario(spec)
     rtts = result.user_rtts
-    layers = dict(result.layers) if tool == "acutemon" else {}
+    layers = dict(result.layers) if spec.tool == "acutemon" else {}
     metrics = result.metrics_snapshot() if collect_metrics else None
-    return CellResult(phone, rtt, tool, cross_traffic, seed, rtts, layers,
-                      metrics)
+    return CellResult(spec.phone, spec.emulated_rtt, spec.tool,
+                      spec.cross_traffic, spec.seed, rtts, layers, metrics,
+                      env=spec.env)
 
 
 class Campaign:
@@ -93,7 +101,8 @@ class Campaign:
 
     def __init__(self, phones=("nexus5",), rtts=(0.030,),
                  tools=("acutemon",), cross_traffic=(False,),
-                 count=30, base_seed=0):
+                 count=30, base_seed=0, envs=("wifi",)):
+        self.envs = tuple(envs)
         self.phones = tuple(phones)
         self.rtts = tuple(rtts)
         self.tools = tuple(tools)
@@ -123,18 +132,29 @@ class Campaign:
         self._index.setdefault(result.key(), result)
 
     def cells(self):
-        """The full grid, in deterministic order, with per-cell seeds."""
-        grid = itertools.product(self.phones, self.rtts, self.tools,
-                                 self.cross_traffic)
-        for index, (phone, rtt, tool, cross) in enumerate(grid):
-            yield phone, rtt, tool, cross, self.base_seed + index * 7919
+        """The full grid as :class:`ScenarioSpec` objects.
+
+        Deterministic order with per-cell seeds; the environment axis is
+        outermost, so single-environment grids keep the same seed per
+        (phone, rtt, tool, cross) cell they had before the axis existed.
+        """
+        grid = itertools.product(self.envs, self.phones, self.rtts,
+                                 self.tools, self.cross_traffic)
+        for index, (env, phone, rtt, tool, cross) in enumerate(grid):
+            yield ScenarioSpec(
+                env=env, phone=phone, tool=tool, emulated_rtt=rtt,
+                count=self.count, cross_traffic=cross,
+                seed=self.base_seed + index * 7919,
+            )
 
     def run(self, progress=None, workers=1, chunk_size=None,
             collect_metrics=False):
         """Execute every cell; returns the result list.
 
-        ``workers=1`` (the default) runs in-process and serially.  Any
-        other value delegates to
+        ``progress`` (if given) is called with each cell's
+        :class:`ScenarioSpec` just before it runs.  ``workers=1`` (the
+        default) runs in-process and serially.  Any other value
+        delegates to
         :class:`~repro.testbed.parallel.ParallelCampaignRunner`, which
         shards the grid across a process pool (``workers=None`` means
         one worker per CPU) and produces bit-identical results in the
@@ -146,12 +166,11 @@ class Campaign:
         """
         if workers == 1:
             self.results = []
-            for phone, rtt, tool, cross, seed in self.cells():
+            for spec in self.cells():
                 if progress is not None:
-                    progress(phone, rtt, tool, cross)
+                    progress(spec)
                 self._append_result(
-                    run_cell(phone, rtt, tool, cross, seed, self.count,
-                             collect_metrics=collect_metrics))
+                    run_cell(spec, collect_metrics=collect_metrics))
             return self._results
         from repro.testbed.parallel import ParallelCampaignRunner
         runner = ParallelCampaignRunner(self, workers=workers,
@@ -164,6 +183,7 @@ class Campaign:
         payload = {
             "count": self.count,
             "base_seed": self.base_seed,
+            "envs": list(self.envs),
             "results": [result.to_dict() for result in self.results],
         }
         with open(path, "w", encoding="utf-8") as handle:
@@ -174,14 +194,17 @@ class Campaign:
         with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
         campaign = cls(count=payload["count"],
-                       base_seed=payload["base_seed"])
+                       base_seed=payload["base_seed"],
+                       envs=tuple(payload.get("envs", ("wifi",))))
         campaign.results = [CellResult.from_dict(item)
                             for item in payload["results"]]
         return campaign
 
     def merged_with(self, other):
         """Combine result sets (later cells win on key collision)."""
-        merged = Campaign(count=self.count, base_seed=self.base_seed)
+        envs = tuple(dict.fromkeys(self.envs + other.envs))
+        merged = Campaign(count=self.count, base_seed=self.base_seed,
+                          envs=envs)
         by_key = {result.key(): result for result in self.results}
         for result in other.results:
             by_key[result.key()] = result
@@ -198,7 +221,8 @@ class Campaign:
         carries metrics (i.e. the campaign ran without
         ``collect_metrics``).  Because each cell's snapshot is
         deterministic and the fold follows grid order, the merged view
-        is identical for serial and parallel runs.
+        is identical for serial and parallel runs — WiFi and cellular
+        cells fold into the same registry view.
         """
         snapshots = [result.metrics for result in self.results
                      if result.metrics is not None]
@@ -206,8 +230,8 @@ class Campaign:
             return None
         return merge_snapshots(snapshots)
 
-    def result_for(self, phone, rtt, tool, cross_traffic=False):
-        return self._index.get((phone, rtt, tool, cross_traffic))
+    def result_for(self, phone, rtt, tool, cross_traffic=False, env="wifi"):
+        return self._index.get((env, phone, rtt, tool, cross_traffic))
 
     def worst_error(self):
         """(CellResult, error) for the least accurate cell."""

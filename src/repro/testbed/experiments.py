@@ -1,20 +1,18 @@
 """Experiment runners.
 
-Each function builds a fresh deterministic testbed, runs one experiment
-cell, and returns the layered measurements — these are the building
-blocks of every table/figure benchmark and of the integration tests.
+Each function maps its keyword arguments onto one
+:class:`~repro.testbed.scenario.ScenarioSpec`, executes it, and returns
+an :class:`ExperimentResult` — these are the building blocks of every
+table/figure benchmark and of the integration tests.  The spec layer is
+the single source of truth for cell construction (environment, phone,
+tool, settle ordering); these wrappers only exist for call-site
+ergonomics and historical signatures.
 """
 
-from repro.core.acutemon import AcuteMon, AcuteMonConfig
-from repro.core.measurement import ProbeCollector
+from repro.core.acutemon import AcuteMon
 from repro.core.overhead import decompose
-from repro.obs import enable_observability, finalize_sim_metrics
-from repro.tools.httping import HttpingTool
-from repro.tools.javaping import JavaPingTool
-from repro.tools.mobiperf import MobiPerfTool
-from repro.tools.ping import PingTool
-from repro.tools.ping2 import Ping2Tool
-from repro.testbed.topology import Testbed
+from repro.obs import finalize_sim_metrics
+from repro.testbed.scenario import ScenarioSpec, run_scenario
 
 
 class ExperimentResult:
@@ -27,6 +25,9 @@ class ExperimentResult:
         self.samples = samples
         self.layers = collector.layered_rtts()
         self.overheads = decompose(collector.completed())
+        self.tool = None
+        self.spec = None
+        self.acutemon = None
 
     @property
     def user_rtts(self):
@@ -48,19 +49,6 @@ class ExperimentResult:
         return f"<ExperimentResult probes={len(self.samples)}>"
 
 
-def _build(phone_key, emulated_rtt, seed, cross_traffic=False,
-           settle=1.0, observe=False, **phone_kwargs):
-    testbed = Testbed(seed=seed, emulated_rtt=emulated_rtt)
-    if observe:
-        enable_observability(testbed.sim)
-    phone = testbed.add_phone(phone_key, **phone_kwargs)
-    collector = ProbeCollector(phone)
-    if cross_traffic:
-        testbed.start_cross_traffic()
-    testbed.settle(settle)
-    return testbed, phone, collector
-
-
 def ping_experiment(phone_key="nexus5", emulated_rtt=30e-3, interval=1.0,
                     count=100, seed=0, bus_sleep=True, cross_traffic=False,
                     timeout=1.0, observe=False):
@@ -70,79 +58,61 @@ def ping_experiment(phone_key="nexus5", emulated_rtt=30e-3, interval=1.0,
     du/dk/dv/dn series of Table 2 and whose phone's driver ``samples``
     hold the dvsend/dvrecv instrumentation of Table 3.
     """
-    testbed, phone, collector = _build(
-        phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
-        bus_sleep=bus_sleep, observe=observe,
+    spec = ScenarioSpec(
+        phone=phone_key, tool="ping", emulated_rtt=emulated_rtt,
+        count=count, interval=interval, seed=seed,
+        cross_traffic=cross_traffic, bus_sleep=bus_sleep, observe=observe,
+        tool_params={"timeout": timeout},
     )
+    env, phone, collector = spec.build()
     phone.driver.clear_samples()
-    tool = PingTool(phone, collector, testbed.server_ip, interval=interval,
-                    timeout=timeout)
-    samples = tool.run_sync(count)
-    return ExperimentResult(testbed, phone, collector, samples)
+    return spec.execute(env, phone, collector)
 
 
 def acutemon_experiment(phone_key="nexus5", emulated_rtt=30e-3, count=100,
                         seed=0, config=None, cross_traffic=False,
                         bus_sleep=True, observe=False, **config_kwargs):
-    """One AcuteMon run (§4.2): warm-up + background + K probes."""
-    testbed, phone, collector = _build(
-        phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
+    """One AcuteMon run (§4.2): warm-up + background + K probes.
+
+    ``config_kwargs`` map onto :class:`AcuteMonConfig`; alternatively
+    pass a prebuilt ``config`` object (which then wins outright).
+    """
+    spec = ScenarioSpec(
+        phone=phone_key, tool="acutemon", emulated_rtt=emulated_rtt,
+        count=count, seed=seed, cross_traffic=cross_traffic,
         bus_sleep=bus_sleep, observe=observe,
+        tool_params=config_kwargs if config is None else {},
     )
     if config is None:
-        config = AcuteMonConfig(probe_count=count, **config_kwargs)
-    monitor = AcuteMon(phone, collector, testbed.server_ip, config=config)
-    done = []
-    monitor.start(on_complete=lambda results: done.append(results))
-    while not done:
-        if not testbed.sim.step():
-            raise RuntimeError("AcuteMon stalled: event heap empty")
-    result = ExperimentResult(testbed, phone, collector, monitor.results)
+        return run_scenario(spec)
+    env, phone, collector = spec.build()
+    monitor = AcuteMon(phone, collector, env.server_ip, config=config)
+    samples = monitor.run_sync()
+    result = ExperimentResult(env, phone, collector, samples)
+    result.tool = monitor
     result.acutemon = monitor
+    result.spec = spec
     return result
-
-
-TOOL_BUILDERS = {
-    "acutemon": None,  # handled by acutemon_experiment
-    "ping": lambda phone, coll, ip_addr, interval: PingTool(
-        phone, coll, ip_addr, interval=interval),
-    "httping": lambda phone, coll, ip_addr, interval: HttpingTool(
-        phone, coll, ip_addr, interval=interval),
-    "javaping": lambda phone, coll, ip_addr, interval: JavaPingTool(
-        phone, coll, ip_addr, interval=interval),
-    "mobiperf": lambda phone, coll, ip_addr, interval: MobiPerfTool(
-        phone, coll, ip_addr, interval=interval),
-}
 
 
 def tool_experiment(tool_name, phone_key="nexus5", emulated_rtt=30e-3,
                     count=100, seed=0, cross_traffic=False, interval=1.0,
-                    observe=False):
-    """Run one tool (any of :data:`TOOL_BUILDERS`) in a fresh testbed.
+                    observe=False, env="wifi", tool_params=None):
+    """Run one registered tool (see :data:`~repro.testbed.scenario.TOOLS`)
+    in a fresh environment.
 
     Returns an :class:`ExperimentResult`; for non-AcuteMon tools its
     ``layers`` stay meaningful only where the tool's probes traverse the
     instrumented stack.  Pass ``observe=True`` to attach the metrics
     registry, span tracker and trace recorder to the cell's simulator.
     """
-    if tool_name == "acutemon":
-        return acutemon_experiment(
-            phone_key, emulated_rtt, count=count, seed=seed,
-            cross_traffic=cross_traffic, observe=observe,
-        )
-    try:
-        builder = TOOL_BUILDERS[tool_name]
-    except KeyError:
-        raise ValueError(f"unknown tool {tool_name!r}; "
-                         f"known: {sorted(TOOL_BUILDERS)}") from None
-    testbed, phone, collector = _build(
-        phone_key, emulated_rtt, seed, cross_traffic=cross_traffic,
-        observe=observe)
-    tool = builder(phone, collector, testbed.server_ip, interval)
-    samples = tool.run_sync(count)
-    result = ExperimentResult(testbed, phone, collector, samples)
-    result.tool = tool
-    return result
+    spec = ScenarioSpec(
+        env=env, phone=phone_key, tool=tool_name, emulated_rtt=emulated_rtt,
+        count=count, interval=interval, seed=seed,
+        cross_traffic=cross_traffic, observe=observe,
+        tool_params=tool_params,
+    )
+    return run_scenario(spec)
 
 
 def tool_comparison(phone_key="nexus5", emulated_rtt=30e-3, count=100,
@@ -166,9 +136,14 @@ def tool_comparison(phone_key="nexus5", emulated_rtt=30e-3, count=100,
 
 def ping2_experiment(phone_key="nexus5", emulated_rtt=30e-3, count=100,
                      seed=0, interval=1.0, observe=False):
-    """Sui et al.'s server-side double ping against an idle phone."""
-    testbed, phone, _collector = _build(phone_key, emulated_rtt, seed,
-                                        observe=observe)
-    tool = Ping2Tool(testbed.server_host, phone.ip_addr, interval=interval)
-    tool.run_sync(count)
-    return tool, testbed
+    """Sui et al.'s server-side double ping against an idle phone.
+
+    Returns an :class:`ExperimentResult` like every other runner; the
+    :class:`~repro.tools.ping2.Ping2Tool` itself (with its
+    ``first_ping_rtts``) is on ``result.tool``.
+    """
+    spec = ScenarioSpec(
+        phone=phone_key, tool="ping2", emulated_rtt=emulated_rtt,
+        count=count, interval=interval, seed=seed, observe=observe,
+    )
+    return run_scenario(spec)

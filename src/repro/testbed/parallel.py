@@ -1,27 +1,29 @@
 """Parallel campaign execution.
 
 A campaign grid is embarrassingly parallel: :meth:`Campaign.cells`
-assigns every cell its own seed, each cell builds a private testbed and
-simulator, and results serialise through JSON.  The
-:class:`ParallelCampaignRunner` exploits that by sharding the cell list
+yields one self-contained :class:`~repro.testbed.scenario.ScenarioSpec`
+per cell (own seed, own environment), each cell builds a private
+simulator, and both specs and results serialise through JSON.  The
+:class:`ParallelCampaignRunner` exploits that by sharding the spec list
 across a ``multiprocessing`` pool:
 
 * cells are grouped into deterministic, contiguous *shards* (chunked
   dispatch keeps per-task overhead low while still load-balancing),
 * pool workers are long-lived and reused across shards,
-* each worker returns ``CellResult.to_dict()`` payloads — the same JSON
-  round-trip :meth:`Campaign.save`/:meth:`Campaign.load` use — so the
-  merged output is byte-identical to a serial run,
+* each pool task carries ``ScenarioSpec.to_dict()`` payloads — plain
+  data, no closures — and returns ``CellResult.to_dict()`` payloads,
+  the same JSON round-trips :meth:`Campaign.save`/:meth:`Campaign.load`
+  use, so the merged output is byte-identical to a serial run,
 * shard results are merged back in grid order regardless of which worker
   finished first, and
 * execution degrades gracefully to the in-process serial path when
   ``workers=1``, the grid is tiny, or the platform cannot start worker
   processes.
 
-Determinism: a cell's outcome depends only on its ``(phone, rtt, tool,
-cross_traffic, seed)`` tuple — never on process-global state shared
-between cells — so ``run(workers=N)`` produces results whose
-``to_dict()`` payloads are identical for every ``N``.  The test suite
+Determinism: a cell's outcome depends only on its spec — never on
+process-global state shared between cells — so ``run(workers=N)``
+produces results whose ``to_dict()`` payloads are identical for every
+``N``, across WiFi and cellular environments alike.  The test suite
 pins this (``tests/test_parallel_campaign.py``).
 """
 
@@ -30,6 +32,7 @@ import multiprocessing
 import os
 
 from repro.testbed.campaign import CellResult, run_cell
+from repro.testbed.scenario import ScenarioSpec
 
 #: Shards-per-worker used when no explicit chunk size is given: small
 #: enough to amortise task dispatch, large enough that a slow cell does
@@ -38,14 +41,14 @@ _CHUNKS_PER_WORKER = 4
 
 
 def _run_shard(task):
-    """Pool task: run a shard of cells, return JSON-ready dicts.
+    """Pool task: run a shard of serialized specs, return JSON-ready dicts.
 
     Module-level so it pickles under every start method (fork or spawn).
     """
-    count, collect_metrics, cells = task
-    return [run_cell(phone, rtt, tool, cross, seed, count,
+    collect_metrics, spec_payloads = task
+    return [run_cell(ScenarioSpec.from_dict(payload),
                      collect_metrics=collect_metrics).to_dict()
-            for phone, rtt, tool, cross, seed in cells]
+            for payload in spec_payloads]
 
 
 def default_worker_count():
@@ -87,7 +90,7 @@ class ParallelCampaignRunner:
     # -- sharding -------------------------------------------------------------
 
     def shards(self, cells=None):
-        """Split the grid into deterministic contiguous chunks."""
+        """Split the grid (a spec list) into deterministic contiguous chunks."""
         if cells is None:
             cells = list(self.campaign.cells())
         if not cells:
@@ -117,23 +120,20 @@ class ParallelCampaignRunner:
 
     def _run_serial(self, cells, progress, collect_metrics=False):
         results = []
-        for phone, rtt, tool, cross, seed in cells:
+        for spec in cells:
             if progress is not None:
-                progress(phone, rtt, tool, cross)
-            results.append(
-                run_cell(phone, rtt, tool, cross, seed,
-                         self.campaign.count,
-                         collect_metrics=collect_metrics))
+                progress(spec)
+            results.append(run_cell(spec, collect_metrics=collect_metrics))
         return results
 
     def run(self, progress=None, collect_metrics=False):
         """Execute the grid and install the merged results.
 
-        ``progress(phone, rtt, tool, cross_traffic)`` is invoked once
-        per cell: before the cell runs when serial, as each shard's
-        results are merged when parallel.  ``collect_metrics`` makes
-        every cell run observed and carry its metrics snapshot home
-        through the same JSON round-trip as the rest of the result.
+        ``progress(spec)`` is invoked once per cell with its
+        :class:`ScenarioSpec`: before the cell runs when serial, as each
+        shard's results are merged when parallel.  ``collect_metrics``
+        makes every cell run observed and carry its metrics snapshot
+        home through the same JSON round-trip as the rest of the result.
         Returns the result list (also assigned to ``campaign.results``,
         in grid order).
         """
@@ -148,21 +148,20 @@ class ParallelCampaignRunner:
         else:
             self.mode = "parallel"
             shards = self.shards(cells)
-            count = campaign.count
             results = []
             try:
                 with pool_context.Pool(processes=workers) as pool:
                     # imap (not imap_unordered) keeps grid order while
                     # still streaming finished shards for progress.
-                    tasks = [(count, collect_metrics, shard)
+                    tasks = [(collect_metrics,
+                              [spec.to_dict() for spec in shard])
                              for shard in shards]
-                    for payloads in pool.imap(_run_shard, tasks):
-                        for payload in payloads:
-                            result = CellResult.from_dict(payload)
+                    for shard, payloads in zip(shards,
+                                               pool.imap(_run_shard, tasks)):
+                        for spec, payload in zip(shard, payloads):
                             if progress is not None:
-                                progress(result.phone, result.rtt,
-                                         result.tool, result.cross_traffic)
-                            results.append(result)
+                                progress(spec)
+                            results.append(CellResult.from_dict(payload))
             except OSError:
                 # Process creation failed mid-flight (fork limits,
                 # sandboxed platforms): degrade to the serial path.

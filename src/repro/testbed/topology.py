@@ -9,40 +9,43 @@ Topology (all within one collision domain, as in the paper)::
 The measurement server adds the emulated RTT on its egress, exactly like
 the paper's ``tc`` configuration ("introducing additional delays on the
 server side can be considered as controlling the length of the network
-path").
+path").  The wired half (switch, server, netem) is assembled by the
+shared :class:`~repro.testbed.environment.WiredCore`, which the cellular
+testbed reuses; :class:`Testbed` implements the
+:class:`~repro.testbed.environment.Environment` protocol and is
+registered under the key ``"wifi"``.
 """
 
 from repro.net.addresses import MacAddress, ip
-from repro.net.arp import ArpTable
-from repro.net.host import Host
 from repro.net.iperf import UdpLoadGenerator, UdpSink
-from repro.net.link import Link
-from repro.net.netem import NetemQdisc
-from repro.net.servers import MeasurementServer
-from repro.net.switch import Switch
 from repro.phone.phone import Phone
-from repro.phone.profiles import PhoneProfile, phone_profile
+from repro.phone.profiles import coerce_profile
 from repro.sim.scheduler import Simulator
 from repro.sniffer.merge import merge_records
 from repro.sniffer.sniffer import WirelessSniffer
+from repro.testbed.environment import (
+    SERVER_IP,
+    WIFI_CAPABILITIES,
+    WIRED_NET,
+    Environment,
+    WiredCore,
+)
 from repro.wifi.ap import AccessPoint
 from repro.wifi.channel import WifiChannel
 from repro.wifi.host import WifiHost
 
 # Address plan.
 WLAN_NET = "192.168.1.0/24"
-WIRED_NET = "10.0.0.0/24"
 AP_WLAN_IP = ip("192.168.1.1")
 AP_WIRED_IP = ip("10.0.0.1")
-SERVER_IP = ip("10.0.0.2")
 LOAD_SERVER_IP = ip("10.0.0.3")
 PHONE_IP = ip("192.168.1.2")
 LOADGEN_IP = ip("192.168.1.3")
 LOAD_PORT = 5001
 
 
-class Testbed:
-    """The assembled testbed.
+class Testbed(Environment):
+    """The assembled WiFi testbed.
 
     Parameters
     ----------
@@ -58,8 +61,8 @@ class Testbed:
         AP beacon interval in Time Units (default 100 TU = 102.4 ms).
     """
 
-    # Not a test class, despite the name (silences pytest collection).
-    __test__ = False
+    key = "wifi"
+    capabilities = WIFI_CAPABILITIES
 
     #: ERP protection overhead used by the testbed AP (b/g mixed mode);
     #: drops practical channel capacity under the 25 Mbps iPerf load so
@@ -84,25 +87,17 @@ class Testbed:
             rng=self.sim.rng.stream("ap"),
             send_time_exceeded=send_time_exceeded,
         )
-        self.switch = Switch(self.sim)
-        self.wired_arp = ArpTable()
+        self.wired_core = WiredCore(self.sim, gateway_ip=AP_WIRED_IP,
+                                    network=WIRED_NET)
+        self.wired_core.connect_gateway(self.ap, link_name="ap-switch")
+        self.server_host, self.server, self.netem = \
+            self.wired_core.add_measurement_server(
+                SERVER_IP, delay=emulated_rtt, jitter=rtt_jitter,
+                loss=path_loss,
+            )
 
-        ap_link = Link(self.sim, name="ap-switch")
-        self.ap.add_wired_port("eth0", AP_WIRED_IP, WIRED_NET,
-                               self.wired_arp, link=ap_link)
-        self.switch.new_port(ap_link)
-
-        self.server_host = self._add_wired_host("server", SERVER_IP)
-        self.server = MeasurementServer(self.server_host)
-        self.netem = NetemQdisc(
-            self.sim, delay=emulated_rtt, jitter=rtt_jitter,
-            loss=path_loss, rng=self.sim.rng.stream("netem"),
-            name="server-egress",
-        )
-        self.server_host.netem = self.netem
-
-        self.load_server_host = self._add_wired_host("load-server",
-                                                     LOAD_SERVER_IP)
+        self.load_server_host = self.wired_core.add_host("load-server",
+                                                         LOAD_SERVER_IP)
         self.load_sink = UdpSink(self.load_server_host, LOAD_PORT)
 
         self.sniffers = [
@@ -117,19 +112,17 @@ class Testbed:
         self.load_generator = None
         self._loadgen_host = None
 
-    # -- construction helpers -------------------------------------------------
+    # -- wired-core conveniences ----------------------------------------------
 
-    def _add_wired_host(self, name, host_ip):
-        host = Host(
-            self.sim, name, host_ip,
-            MacAddress.from_index(int(host_ip) & 0xFFFF, oui=0x02CD00),
-            self.wired_arp, gateway=AP_WIRED_IP,
-            rng=self.sim.rng.stream(f"host:{name}"),
-        )
-        link = Link(self.sim, name=f"{name}-switch")
-        host.nic.attach_link(link)
-        self.switch.new_port(link)
-        return host
+    @property
+    def switch(self):
+        return self.wired_core.switch
+
+    @property
+    def wired_arp(self):
+        return self.wired_core.arp
+
+    # -- phones ---------------------------------------------------------------
 
     def add_phone(self, profile="nexus5", phone_ip=PHONE_IP, **phone_kwargs):
         """Attach an instrumented phone to the WLAN.
@@ -138,8 +131,7 @@ class Testbed:
         keyword arguments go to :class:`~repro.phone.phone.Phone` (e.g.
         ``bus_sleep=False``, ``runtime='dalvik'``).
         """
-        if not isinstance(profile, PhoneProfile):
-            profile = phone_profile(profile)
+        profile = coerce_profile(profile)
         mac = MacAddress.from_index(0x100 + len(self.phones), oui=0x02EE00)
         phone = Phone(
             self.sim, profile, self.channel, self.ap, phone_ip, mac,
@@ -147,6 +139,9 @@ class Testbed:
         )
         self.phones.append(phone)
         return phone
+
+    #: The :class:`Environment` protocol name for :meth:`add_phone`.
+    attach_phone = add_phone
 
     def start_cross_traffic(self, flows=10, rate_bps=2.5e6):
         """Congest the WLAN with the paper's iPerf workload.
@@ -174,25 +169,9 @@ class Testbed:
 
     # -- conveniences ----------------------------------------------------------
 
-    @property
-    def server_ip(self):
-        return self.server_host.ip_addr
-
-    def set_emulated_rtt(self, rtt):
-        """Re-point the server-side netem delay (tc qdisc change)."""
-        self.netem.delay = rtt
-
     def merged_capture(self):
         """The deduplicated multi-sniffer view of the channel."""
         return merge_records(*self.sniffers)
-
-    def run(self, duration):
-        """Advance the simulation by ``duration`` seconds."""
-        return self.sim.run(until=self.sim.now + duration)
-
-    def settle(self, duration=0.5):
-        """Let associations/beacons settle before measuring."""
-        return self.run(duration)
 
     def __repr__(self):
         return (

@@ -11,8 +11,9 @@ class TestGrid:
                             rtts=(0.02, 0.05), tools=("acutemon", "ping"))
         cells = list(campaign.cells())
         assert len(cells) == 8
-        seeds = [cell[4] for cell in cells]
+        seeds = [spec.seed for spec in cells]
         assert len(set(seeds)) == 8  # unique per-cell seeds
+        assert all(spec.env == "wifi" for spec in cells)
 
     def test_run_small_grid(self):
         campaign = Campaign(phones=("nexus5",), rtts=(0.02,),

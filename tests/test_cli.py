@@ -42,6 +42,39 @@ class TestParser:
         assert args.metrics_out == "metrics.prom"
         assert build_parser().parse_args(["campaign"]).metrics_out is None
 
+    def test_campaign_env_option(self):
+        args = build_parser().parse_args(
+            ["campaign", "--env", "wifi", "cellular-lte"])
+        assert args.env == ["wifi", "cellular-lte"]
+        assert build_parser().parse_args(["campaign"]).env == ["wifi"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--env", "ethernet"])
+
+    def test_scenario_run_options(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "--env", "cellular-lte",
+             "--tool", "acutemon", "--phone", "nexus4", "--rtt", "50",
+             "--interval", "0.5", "--observe"])
+        assert args.scenario_command == "run"
+        assert args.env == "cellular-lte"
+        assert args.tool == "acutemon"
+        assert args.phone == "nexus4"
+        assert args.rtt == 50.0
+        assert args.interval == 0.5
+        assert args.observe and not args.cross_traffic
+
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_rejects_unknown_env_and_tool(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", "--env",
+                                       "ethernet"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", "--tool",
+                                       "warpspeed"])
+
 
 class TestCommands:
     def test_phones_lists_all_profiles(self, capsys):
@@ -92,3 +125,40 @@ class TestCommands:
         text = path.read_text()
         assert "sdio_promotion_seconds_bucket" in text
         assert "psm_beacon_wait_seconds_bucket" in text
+
+    def test_campaign_sweeps_environments(self, capsys):
+        assert main(["--count", "3", "campaign", "--env", "wifi",
+                     "cellular-lte", "--rtts", "20", "--tools",
+                     "ping"]) == 0
+        out = capsys.readouterr().out
+        assert "over wifi" in out and "over cellular-lte" in out
+        assert "Env" in out
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("wifi", "cellular-3g", "cellular-lte"):
+            assert key in out
+        for tool in ("acutemon", "ping2", "mobiperf"):
+            assert tool in out
+        assert "nexus5" in out
+
+    def test_scenario_run_cellular_acutemon(self, capsys):
+        assert main(["--count", "4", "scenario", "run", "--env",
+                     "cellular-lte", "--tool", "acutemon"]) == 0
+        out = capsys.readouterr().out
+        assert "cellular-lte" in out
+        assert "probes: 4" in out
+        assert "user RTT" in out
+
+    def test_scenario_spec_save_and_load(self, capsys, tmp_path):
+        spec_path = tmp_path / "cell.json"
+        assert main(["--count", "3", "scenario", "run", "--tool", "ping",
+                     "--interval", "0.05", "--save-spec",
+                     str(spec_path)]) == 0
+        first = capsys.readouterr().out
+        assert "saved spec to" in first
+        assert main(["scenario", "run", "--spec", str(spec_path)]) == 0
+        second = capsys.readouterr().out
+        # Same spec, same seed: the reported medians agree exactly.
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]

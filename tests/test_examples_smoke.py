@@ -20,6 +20,7 @@ FAST_EXAMPLES = (
     "calibrate_and_plan.py",
     "energy_budget.py",
     "observability_tour.py",
+    "scenario_sweep.py",
 )
 
 

@@ -176,21 +176,21 @@ class TestPing2Shapes:
     """The prior-art baseline's crossover (§1)."""
 
     def test_ping2_fine_at_short_rtt_poor_at_long(self):
-        short_tool, _ = ping2_experiment("nexus5", emulated_rtt=0.02,
-                                         count=10, seed=141)
-        long_tool, _ = ping2_experiment("nexus5", emulated_rtt=0.08,
-                                        count=10, seed=141)
-        short_err = statistics.median(short_tool.rtts()) - 0.02
-        long_err = statistics.median(long_tool.rtts()) - 0.08
+        short = ping2_experiment("nexus5", emulated_rtt=0.02,
+                                 count=10, seed=141)
+        long = ping2_experiment("nexus5", emulated_rtt=0.08,
+                                count=10, seed=141)
+        short_err = statistics.median(short.tool.rtts()) - 0.02
+        long_err = statistics.median(long.tool.rtts()) - 0.08
         assert short_err < 0.006
         assert long_err > short_err + 0.004
 
     def test_acutemon_stays_accurate_where_ping2_fails(self):
         rtt = 0.08
-        ping2_tool, _ = ping2_experiment("nexus5", emulated_rtt=rtt,
-                                         count=10, seed=142)
+        ping2 = ping2_experiment("nexus5", emulated_rtt=rtt,
+                                 count=10, seed=142)
         acute = acutemon_experiment("nexus5", emulated_rtt=rtt, count=10,
                                     seed=142)
-        ping2_err = statistics.median(ping2_tool.rtts()) - rtt
+        ping2_err = statistics.median(ping2.tool.rtts()) - rtt
         acute_err = statistics.median(acute.user_rtts) - rtt
         assert acute_err < ping2_err

@@ -128,8 +128,8 @@ class TestPsmInstrumentation:
         assert all(s.duration > 0 for s in dozes)
 
     def test_ap_buffering_counted_and_spanned(self):
-        tool, testbed = ping2_experiment(count=6, seed=2, observe=True)
-        sim = testbed.sim
+        result = ping2_experiment(count=6, seed=2, observe=True)
+        sim = result.testbed.sim
         buffered = sim.metrics.get("ap_ps_frames_buffered_total",
                                    labels={"ap": "ap"})
         assert buffered.value > 0

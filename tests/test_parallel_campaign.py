@@ -40,16 +40,15 @@ class TestDeterminism:
     def test_parallel_preserves_grid_order(self):
         campaign = small_grid()
         campaign.run(workers=4)
-        expected = [(phone, rtt, tool, cross)
-                    for phone, rtt, tool, cross, _ in campaign.cells()]
+        expected = [spec.key() for spec in campaign.cells()]
         assert [result.key() for result in campaign.results] == expected
 
     def test_run_cell_matches_campaign_cell(self):
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
                               tools=("ping",))
         campaign.run()
-        (cell,) = campaign.cells()
-        direct = run_cell(*cell, count=campaign.count)
+        (spec,) = campaign.cells()
+        direct = run_cell(spec)
         assert direct.to_dict() == campaign.results[0].to_dict()
 
 
@@ -80,7 +79,7 @@ class TestSharding:
                               tools=("ping",))
         results = campaign.run(workers=4)
         assert len(results) == 1
-        assert results[0].key() == ("nexus5", 0.02, "ping", False)
+        assert results[0].key() == ("wifi", "nexus5", 0.02, "ping", False)
 
     def test_more_workers_than_cells(self):
         campaign = small_grid(phones=("nexus5",), rtts=(0.02, 0.05),
@@ -95,10 +94,10 @@ class TestSharding:
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
                               tools=("ping",))
         cells = list(campaign.cells())
-        payloads = _run_shard((campaign.count, False, cells))
+        payloads = _run_shard((False, [spec.to_dict() for spec in cells]))
         assert len(payloads) == 1
         restored = CellResult.from_dict(payloads[0])
-        assert restored.key() == ("nexus5", 0.02, "ping", False)
+        assert restored.key() == ("wifi", "nexus5", 0.02, "ping", False)
         assert len(restored.rtts) == campaign.count
         assert restored.metrics is None
 
@@ -106,7 +105,7 @@ class TestSharding:
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
                               tools=("ping",))
         cells = list(campaign.cells())
-        payloads = _run_shard((campaign.count, True, cells))
+        payloads = _run_shard((True, [spec.to_dict() for spec in cells]))
         restored = CellResult.from_dict(payloads[0])
         assert restored.metrics is not None
         names = {entry["name"] for entry in restored.metrics["metrics"]}
@@ -133,10 +132,10 @@ class TestFallbacksAndProgress:
     def test_progress_called_once_per_cell_parallel(self):
         campaign = small_grid(tools=("ping",))
         seen = []
-        campaign.run(workers=2, progress=lambda *cell: seen.append(cell))
+        campaign.run(workers=2,
+                     progress=lambda spec: seen.append(spec.key()))
         assert sorted(seen) == sorted(
-            (phone, rtt, tool, cross)
-            for phone, rtt, tool, cross, _ in campaign.cells())
+            spec.key() for spec in campaign.cells())
 
     def test_campaign_run_workers_none_uses_cpu_count(self):
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
@@ -154,7 +153,7 @@ class TestResultIndex:
         campaign.run()
         result = campaign.result_for("nexus4", 0.05, "ping")
         assert result is not None
-        assert result.key() == ("nexus4", 0.05, "ping", False)
+        assert result.key() == ("wifi", "nexus4", 0.05, "ping", False)
         assert campaign.result_for("nexus4", 0.05, "acutemon") is None
 
     def test_result_for_after_direct_assignment(self):
@@ -234,6 +233,76 @@ class TestMetricsDeterminism:
         loaded = Campaign.load(path)
         assert json.dumps(loaded.merged_metrics(), sort_keys=True) == \
             json.dumps(campaign.merged_metrics(), sort_keys=True)
+
+
+class TestEnvironmentAxis:
+    """One grid sweeping WiFi and cellular cells side by side."""
+
+    GRID = dict(envs=("wifi", "cellular-lte"), phones=("nexus5",),
+                rtts=(0.02, 0.05), tools=("acutemon", "ping"), count=3)
+
+    def test_mixed_env_parallel_matches_serial_bit_for_bit(self):
+        baseline = small_grid(**self.GRID)
+        baseline.run(workers=1)
+        reference = serialized(baseline)
+        assert {r.env for r in baseline.results} == {"wifi",
+                                                     "cellular-lte"}
+        for workers in (2, 4):
+            campaign = small_grid(**self.GRID)
+            campaign.run(workers=workers)
+            assert serialized(campaign) == reference, (
+                f"workers={workers} diverged on the mixed-env grid")
+
+    def test_mixed_env_merged_metrics_identical(self):
+        serial = small_grid(**self.GRID)
+        serial.run(workers=1, collect_metrics=True)
+        reference = json.dumps(serial.merged_metrics(), sort_keys=True)
+        parallel = small_grid(**self.GRID)
+        parallel.run(workers=3, collect_metrics=True)
+        merged = json.dumps(parallel.merged_metrics(), sort_keys=True)
+        assert merged == reference
+        # Cellular cells contribute RRC metrics into the same fold.
+        assert "rrc" in reference or "cell" in reference or \
+            "scheduler_events_fired" in reference
+
+    def test_env_axis_outermost_keeps_single_env_seeds(self):
+        # A wifi-only grid must assign the exact seeds it did before
+        # the environment axis existed: base_seed + index * 7919.
+        campaign = small_grid()
+        for index, spec in enumerate(campaign.cells()):
+            assert spec.seed == campaign.base_seed + index * 7919
+            assert spec.env == "wifi"
+
+    def test_result_for_distinguishes_envs(self):
+        campaign = small_grid(envs=("wifi", "cellular-lte"),
+                              phones=("nexus5",), rtts=(0.02,),
+                              tools=("ping",))
+        campaign.run()
+        wifi = campaign.result_for("nexus5", 0.02, "ping")
+        cell = campaign.result_for("nexus5", 0.02, "ping",
+                                   env="cellular-lte")
+        assert wifi is not None and cell is not None
+        assert wifi.env == "wifi" and cell.env == "cellular-lte"
+        assert wifi.seed != cell.seed
+
+    def test_env_survives_save_load(self, tmp_path):
+        campaign = small_grid(envs=("cellular-lte",), phones=("nexus5",),
+                              rtts=(0.02,), tools=("ping",))
+        campaign.run()
+        path = tmp_path / "campaign.json"
+        campaign.save(path)
+        loaded = Campaign.load(path)
+        assert loaded.envs == ("cellular-lte",)
+        assert loaded.results[0].env == "cellular-lte"
+        assert loaded.results[0].key() == campaign.results[0].key()
+
+    def test_legacy_payload_defaults_to_wifi(self):
+        restored = CellResult.from_dict({
+            "phone": "nexus5", "rtt": 0.03, "tool": "ping",
+            "cross_traffic": False, "seed": 0, "rtts": [0.031],
+        })
+        assert restored.env == "wifi"
+        assert restored.key() == ("wifi", "nexus5", 0.03, "ping", False)
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4])

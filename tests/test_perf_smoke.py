@@ -101,6 +101,39 @@ def test_smoke_campaign_cell_rate():
     assert _rates["campaign_cells_per_sec"] > 1
 
 
+@pytest.mark.perf_smoke
+def test_smoke_scenario_build_overhead():
+    """Spec construction must stay negligible next to cell execution.
+
+    Campaign grids route every cell through ScenarioSpec (validate +
+    JSON round-trip in the parallel path).  Best-of-3 timing of that
+    per-cell spec machinery, expressed as a percentage of the measured
+    per-cell execution time from ``test_smoke_campaign_cell_rate``
+    (which runs earlier in this module).  The 5% gate only trips if
+    spec handling grows real work — validation today is microseconds
+    against cells that take tens of milliseconds.
+    """
+    from repro.testbed.scenario import ScenarioSpec
+
+    specs = 200
+
+    def build_round_trip():
+        for index in range(specs):
+            spec = ScenarioSpec(env="wifi", phone="nexus5", tool="ping",
+                                emulated_rtt=0.02, count=3,
+                                seed=index * 7919)
+            ScenarioSpec.from_dict(spec.to_dict()).to_json()
+
+    best = 0.0
+    for _ in range(3):
+        best = max(best, _rate(specs, build_round_trip))
+    per_spec_seconds = 1.0 / best
+    cells_per_sec = _rates["campaign_cells_per_sec"]
+    overhead = per_spec_seconds * cells_per_sec * 100.0
+    _rates["scenario_build_overhead_pct"] = overhead
+    assert overhead <= 5.0
+
+
 class _ReferenceSimulator(Simulator):
     """Replica of the growth-seed run() loop with no observability
     dispatch at all — the zero-overhead yardstick for the bench below."""
@@ -175,6 +208,7 @@ def test_smoke_emits_bench_json():
     assert set(_rates) == {"scheduler_events_per_sec",
                            "wire_round_trips_per_sec",
                            "campaign_cells_per_sec",
+                           "scenario_build_overhead_pct",
                            "obs_disabled_overhead_pct"}
     payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
     payload["seed_baseline"] = _SEED_BASELINE

@@ -1,0 +1,59 @@
+"""Tier-1 wiring for ``scripts/check_registries.py``.
+
+The lint builds every registered environment, checks the
+:class:`~repro.testbed.environment.Environment` protocol surface,
+and constructs every registered tool — so a registry entry that would
+detonate mid-campaign fails the suite instead.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_registries.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("check_registries",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_registries_are_clean():
+    lint = _load()
+    problems = lint.check_registries()
+    assert not problems, "registry problems:\n" + "\n".join(problems)
+
+
+def test_main_exit_code_clean():
+    lint = _load()
+    assert lint.main([]) == 0
+
+
+def test_lint_rejects_none_builder(monkeypatch):
+    from repro.testbed import scenario
+
+    lint = _load()
+    monkeypatch.setitem(
+        scenario.TOOLS, "broken",
+        scenario.ToolEntry("broken", None, "phone", "placeholder"))
+    problems = lint.check_tools()
+    assert any("broken" in p and "None" in p for p in problems)
+
+
+def test_lint_rejects_unbuildable_environment(monkeypatch):
+    from repro.testbed import environment
+
+    lint = _load()
+
+    def explode(seed=0, emulated_rtt=0.0, **params):
+        raise RuntimeError("boom")
+
+    monkeypatch.setitem(
+        environment.ENVIRONMENTS, "exploding",
+        environment.EnvironmentEntry("exploding", explode, "bad",
+                                     frozenset()))
+    problems = lint.check_environments()
+    assert any("exploding" in p and "build failed" in p for p in problems)

@@ -1,0 +1,197 @@
+"""Tests for the declarative scenario layer."""
+
+import json
+
+import pytest
+
+from repro.testbed.scenario import (
+    TOOLS,
+    ScenarioError,
+    ScenarioSpec,
+    register_tool,
+    run_scenario,
+    tool_entry,
+    tool_keys,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.env == "wifi"
+        assert spec.tool == "acutemon"
+        assert spec.phone == "nexus5"
+
+    def test_unknown_environment(self):
+        with pytest.raises(ScenarioError, match="unknown environment"):
+            ScenarioSpec(env="ethernet")
+
+    def test_unknown_phone(self):
+        with pytest.raises(ScenarioError, match="unknown phone"):
+            ScenarioSpec(phone="iphone")
+
+    def test_unknown_tool(self):
+        with pytest.raises(ScenarioError, match="unknown tool"):
+            ScenarioSpec(tool="warpspeed")
+
+    def test_scenario_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(tool="warpspeed")
+
+    @pytest.mark.parametrize("field,value", [
+        ("emulated_rtt", -0.01),
+        ("emulated_rtt", "30ms"),
+        ("count", 0),
+        ("count", 2.5),
+        ("interval", 0.0),
+        ("seed", 1.5),
+        ("settle", -1.0),
+        ("cross_traffic", "yes"),
+        ("bus_sleep", 1),
+        ("observe", None),
+    ])
+    def test_bad_field_values(self, field, value):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(**{field: value})
+
+    def test_cross_traffic_needs_capability(self):
+        ScenarioSpec(env="wifi", cross_traffic=True)  # fine
+        with pytest.raises(ScenarioError, match="cross traffic"):
+            ScenarioSpec(env="cellular-lte", cross_traffic=True)
+
+    def test_bus_sleep_off_needs_capability(self):
+        ScenarioSpec(env="wifi", bus_sleep=False)  # fine
+        with pytest.raises(ScenarioError, match="bus"):
+            ScenarioSpec(env="cellular-3g", bus_sleep=False)
+
+    def test_params_must_be_json_serializable(self):
+        with pytest.raises(ScenarioError, match="JSON-serializable"):
+            ScenarioSpec(tool_params={"fn": object()})
+        with pytest.raises(ScenarioError, match="keys must be strings"):
+            ScenarioSpec(env_params={1: "x"})
+
+
+class TestSerialization:
+    FULL = dict(env="cellular-lte", phone="nexus4", tool="acutemon",
+                emulated_rtt=0.05, count=7, interval=0.5, seed=42,
+                cross_traffic=False, bus_sleep=True, settle=0.25,
+                observe=True, env_params={"t1": 3.0},
+                tool_params={"probe_method": "udp"})
+
+    def test_json_round_trip_exact(self):
+        spec = ScenarioSpec(**self.FULL)
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.to_dict() == spec.to_dict()
+        assert json.loads(spec.to_json()) == spec.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = ScenarioSpec().to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ScenarioError, match="unknown scenario field"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_validates(self):
+        data = ScenarioSpec().to_dict()
+        data["tool"] = "warpspeed"
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict(data)
+
+    def test_replace_returns_validated_copy(self):
+        spec = ScenarioSpec()
+        other = spec.replace(env="cellular-lte", seed=9)
+        assert other.env == "cellular-lte" and other.seed == 9
+        assert spec.env == "wifi"  # original untouched
+        with pytest.raises(ScenarioError):
+            spec.replace(count=0)
+
+    def test_key_and_hash(self):
+        spec = ScenarioSpec(env="cellular-3g", emulated_rtt=0.02)
+        assert spec.key() == ("cellular-3g", "nexus5", 0.02, "acutemon",
+                              False)
+        assert hash(spec) == hash(spec.replace())
+        assert spec != spec.replace(seed=1)
+
+    def test_params_are_copied_in(self):
+        params = {"t1": 3.0}
+        spec = ScenarioSpec(env_params=params)
+        params["t1"] = 99.0
+        assert spec.env_params == {"t1": 3.0}
+
+
+class TestToolRegistry:
+    def test_known_tools(self):
+        assert set(tool_keys()) == {"acutemon", "ping", "httping",
+                                    "javaping", "mobiperf", "ping2"}
+
+    def test_no_none_builders(self):
+        # The old TOOL_BUILDERS dict kept "acutemon": None as a special
+        # case; the unified registry bans placeholders outright.
+        assert all(entry.builder is not None for entry in TOOLS.values())
+
+    def test_unknown_tool_entry(self):
+        with pytest.raises(KeyError, match="warpspeed"):
+            tool_entry("warpspeed")
+
+    def test_register_tool_round_trips(self, monkeypatch):
+        monkeypatch.delitem(TOOLS, "mytool", raising=False)
+        build = register_tool("mytool", lambda *a: None, side="server",
+                              description="test")
+        entry = tool_entry("mytool")
+        assert entry.builder is build and entry.side == "server"
+        spec = ScenarioSpec(tool="mytool")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        del TOOLS["mytool"]
+
+
+class TestExecution:
+    def test_run_scenario_returns_experiment_result(self):
+        spec = ScenarioSpec(tool="ping", count=3, interval=0.01, seed=5)
+        result = run_scenario(spec)
+        assert result.spec == spec
+        assert result.tool is not None
+        assert len(result.samples) == 3
+        assert all(rtt > 0 for rtt in result.user_rtts)
+
+    def test_acutemon_is_first_class(self):
+        spec = ScenarioSpec(tool="acutemon", count=4, seed=5)
+        result = run_scenario(spec)
+        assert result.acutemon is result.tool
+        assert result.acutemon.config.probe_count == 4
+        assert len(result.samples) == 4
+
+    def test_tool_params_reach_acutemon_config(self):
+        spec = ScenarioSpec(tool="acutemon", count=3, seed=5,
+                            tool_params={"probe_method": "udp",
+                                         "db": 0.01})
+        result = run_scenario(spec)
+        assert result.acutemon.config.probe_method == "udp"
+        assert result.acutemon.config.db == 0.01
+
+    def test_cellular_scenario_runs(self):
+        spec = ScenarioSpec(env="cellular-lte", tool="acutemon", count=3,
+                            seed=5)
+        result = run_scenario(spec)
+        assert len(result.samples) == 3
+        assert result.testbed.key == "cellular-lte"
+
+    def test_env_params_reach_builder(self):
+        spec = ScenarioSpec(env="cellular-3g", tool="ping", count=2,
+                            interval=0.1, seed=5,
+                            env_params={"t1": 2.0})
+        env, _phone, _collector = spec.build()
+        assert env.rrc.config.t1 == 2.0
+
+    def test_deterministic_across_runs(self):
+        spec = ScenarioSpec(tool="acutemon", count=5, seed=11)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.user_rtts == second.user_rtts
+
+    def test_matches_tool_experiment(self):
+        from repro.testbed.experiments import tool_experiment
+
+        spec = ScenarioSpec(tool="ping", count=4, interval=0.02, seed=3)
+        direct = run_scenario(spec)
+        wrapped = tool_experiment("ping", count=4, interval=0.02, seed=3)
+        assert direct.user_rtts == wrapped.user_rtts

@@ -104,9 +104,11 @@ class TestExperimentRunners:
             tool_comparison(tools=("warpspeed",), count=1)
 
     def test_ping2_experiment(self):
-        tool, _testbed = ping2_experiment("nexus5", emulated_rtt=0.02,
-                                          count=5, seed=3)
-        assert len(tool.rtts()) == 5
+        result = ping2_experiment("nexus5", emulated_rtt=0.02,
+                                  count=5, seed=3)
+        assert len(result.tool.rtts()) == 5
+        assert len(result.samples) == 5
+        assert result.spec.tool == "ping2"
 
     def test_bus_sleep_flag_respected(self):
         result = ping_experiment("nexus5", emulated_rtt=0.03, interval=1.0,
