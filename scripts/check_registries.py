@@ -1,19 +1,17 @@
 #!/usr/bin/env python3
-"""Lint: every registered environment and tool must actually work.
+"""Lint wrapper: every registered environment and tool must actually work.
 
+The actual checks live in :mod:`repro.lint.rules_registry` — rule
+``RL301`` on the :mod:`repro.lint` engine — so this script,
+``repro lint`` and ``scripts/lint_all.py`` share one source of truth.
 A registry entry that imports but cannot build is a landmine: it passes
 ``import repro`` yet detonates mid-campaign, possibly hours into a
-sweep.  This script builds every registered environment, checks it
-against the :class:`~repro.testbed.environment.Environment` protocol,
-attaches a phone, and round-trips a :class:`ScenarioSpec` naming it;
-every registered tool must expose a non-``None`` builder, construct on
-a live WiFi cell, and answer ``run_sync`` — the contract the scenario
-executor drives.  Registering a tool with a ``None`` builder (the old
+sweep; registering a tool with a ``None`` builder (the old
 ``TOOL_BUILDERS["acutemon"] = None`` special case) is exactly what this
 lint exists to reject.
 
-Wired into tier-1 by ``tests/test_registry_lint.py``; also runnable
-directly: ``python scripts/check_registries.py``.
+Kept as a standalone entry point; wired into tier-1 by
+``tests/test_registry_lint.py``.
 """
 
 import pathlib
@@ -24,91 +22,19 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-#: Attributes/methods the Environment protocol promises to every layer
-#: above it (scenario build, campaign cells, CLI).
-PROTOCOL_ATTRS = ("sim", "server_ip", "server_host", "attach_phone",
-                  "settle", "run", "set_emulated_rtt", "observe",
-                  "metrics_snapshot")
+from repro.lint.rules_registry import (  # noqa: E402,F401
+    PROTOCOL_ATTRS, environment_problems, tool_problems,
+)
 
 
 def check_environments():
     """Build every registered environment; return problem strings."""
-    from repro.testbed.environment import ENVIRONMENTS, build_environment
-    from repro.testbed.scenario import ScenarioSpec
-
-    problems = []
-    for key, entry in sorted(ENVIRONMENTS.items()):
-        if entry.builder is None:
-            problems.append(f"environment {key!r}: builder is None")
-            continue
-        try:
-            env = build_environment(key, seed=0)
-        except Exception as exc:  # noqa: BLE001 - lint reports, not raises
-            problems.append(f"environment {key!r}: build failed: {exc!r}")
-            continue
-        for attr in PROTOCOL_ATTRS:
-            if not hasattr(env, attr):
-                problems.append(
-                    f"environment {key!r}: missing protocol attr {attr!r}")
-        if env.key != key:
-            problems.append(
-                f"environment {key!r}: instance reports key {env.key!r}")
-        if env.capabilities != entry.capabilities:
-            problems.append(
-                f"environment {key!r}: instance capabilities "
-                f"{sorted(env.capabilities)} != registry "
-                f"{sorted(entry.capabilities)}")
-        try:
-            env.attach_phone("nexus5")
-        except Exception as exc:  # noqa: BLE001
-            problems.append(
-                f"environment {key!r}: attach_phone failed: {exc!r}")
-        try:
-            spec = ScenarioSpec(env=key)
-            if ScenarioSpec.from_json(spec.to_json()) != spec:
-                problems.append(
-                    f"environment {key!r}: spec JSON round-trip not "
-                    "equal")
-        except Exception as exc:  # noqa: BLE001
-            problems.append(
-                f"environment {key!r}: spec round-trip failed: {exc!r}")
-    return problems
+    return environment_problems()
 
 
 def check_tools():
     """Construct every registered tool on a WiFi cell; return problems."""
-    from repro.core.measurement import ProbeCollector
-    from repro.testbed.environment import build_environment
-    from repro.testbed.scenario import TOOLS, ScenarioSpec
-
-    problems = []
-    env = build_environment("wifi", seed=0)
-    phone = env.attach_phone("nexus5")
-    collector = ProbeCollector(phone)
-    for key, entry in sorted(TOOLS.items()):
-        if entry.builder is None:
-            problems.append(f"tool {key!r}: builder is None (register a "
-                            "real builder; None placeholders are banned)")
-            continue
-        if entry.side not in ("phone", "server"):
-            problems.append(f"tool {key!r}: unknown side {entry.side!r}")
-        try:
-            spec = ScenarioSpec(tool=key, count=1)
-            if ScenarioSpec.from_json(spec.to_json()) != spec:
-                problems.append(
-                    f"tool {key!r}: spec JSON round-trip not equal")
-        except Exception as exc:  # noqa: BLE001
-            problems.append(f"tool {key!r}: spec round-trip failed: {exc!r}")
-            continue
-        try:
-            tool = entry.build(spec, env, phone, collector)
-        except Exception as exc:  # noqa: BLE001
-            problems.append(f"tool {key!r}: builder failed: {exc!r}")
-            continue
-        if not callable(getattr(tool, "run_sync", None)):
-            problems.append(
-                f"tool {key!r}: built object has no run_sync()")
-    return problems
+    return tool_problems()
 
 
 def check_registries():

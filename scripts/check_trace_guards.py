@@ -1,75 +1,51 @@
 #!/usr/bin/env python3
-"""Lint: every observability call site in ``src/`` must be guarded.
+"""Lint wrapper: every observability call site in ``src/`` must be guarded.
 
-Instrumentation follows the ``if sim.metrics.enabled:`` idiom so the
-disabled path costs exactly one attribute check (see
-``docs/OBSERVABILITY.md``).  This script exits non-zero when a
-``trace.record(`` / ``metrics.inc(`` / ``spans.record(`` … call site has
-no ``(trace|metrics|spans).enabled`` check on the same line or within
-the preceding ``GUARD_WINDOW`` lines.
+The actual checks live in :mod:`repro.lint.rules_obs` — rule ``RL001``
+(unguarded call site) plus ``RL002`` (stale ``# obs: caller-guarded``
+pragma on a line with no call) — running on the :mod:`repro.lint`
+engine, so this script, ``repro lint`` and ``scripts/lint_all.py``
+share one source of truth.  The pragma is recognised with flexible
+whitespace and trailing rationale text (``#obs:caller-guarded``,
+``# obs: caller-guarded — guard lives in run()`` all count).
 
-A call site whose guard lives in its (sole) caller is marked with the
-pragma comment ``# obs: caller-guarded`` and skipped.  The
-``repro/obs/`` package itself is excluded: it implements the recorders,
-so its internals run under the recorders' own ``enabled`` checks.
-
-Wired into tier-1 by ``tests/test_trace_guard_lint.py``.
+Kept as a standalone entry point for muscle memory and CI pipelines;
+wired into tier-1 by ``tests/test_trace_guard_lint.py``.
 """
 
 import pathlib
-import re
 import sys
 
-#: How many lines above a call site may hold its ``.enabled`` guard.
-GUARD_WINDOW = 6
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
-PRAGMA = "# obs: caller-guarded"
-
-#: Observability call sites: the recorder attribute plus a recording
-#: method.  Matches ``sim.trace.record(...)``, ``self.metrics.inc(...)``
-#: and the like; plain method *definitions* never match.
-CALL_RE = re.compile(
-    r"\b(?:trace\.record"
-    r"|metrics\.(?:inc|observe|set_gauge|counter|gauge|histogram)"
-    r"|spans\.(?:record|begin|end))\("
+from repro.lint.engine import run_lint  # noqa: E402
+from repro.lint.registry import RULES  # noqa: E402
+# Re-exported so callers keep one import point for the knobs.
+from repro.lint.pragmas import OBS_PRAGMA as PRAGMA  # noqa: E402,F401
+from repro.lint.rules_obs import (  # noqa: E402,F401
+    CALL_RE, GUARD_RE, GUARD_WINDOW,
 )
 
-#: A guard is a check of the recorder's ``enabled`` flag specifically —
-#: other ``.enabled`` attributes (e.g. a PSM config) do not count.
-GUARD_RE = re.compile(r"\b(?:trace|metrics|spans)\.enabled\b")
-
-_EXCLUDED = ("repro", "obs")
-
-
-def _excluded(path, src_root):
-    parts = path.relative_to(src_root).parts
-    return parts[: len(_EXCLUDED)] == _EXCLUDED
+#: The obs-guard rule pack this wrapper runs.
+RULE_IDS = ("RL001", "RL002")
 
 
 def find_violations(src_root):
-    """Return ``[(path, lineno, line), ...]`` of unguarded call sites."""
-    src_root = pathlib.Path(src_root)
-    violations = []
-    for path in sorted(src_root.rglob("*.py")):
-        if _excluded(path, src_root):
-            continue
-        lines = path.read_text(encoding="utf-8").splitlines()
-        for index, line in enumerate(lines):
-            if not CALL_RE.search(line):
-                continue
-            if PRAGMA in line:
-                continue
-            window = lines[max(0, index - GUARD_WINDOW): index + 1]
-            if any(GUARD_RE.search(candidate) for candidate in window):
-                continue
-            violations.append((path, index + 1, line.strip()))
-    return violations
+    """Return ``[(path, lineno, line), ...]`` of obs-guard findings."""
+    src_root = pathlib.Path(src_root).resolve()
+    result = run_lint(src_root, rules=[RULES[rule_id] for rule_id in RULE_IDS],
+                      include_project_rules=False)
+    base = src_root if src_root.is_dir() else src_root.parent
+    return [(base / finding.path, finding.line, finding.snippet)
+            for finding in result.findings]
 
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
-    repo_root = pathlib.Path(__file__).resolve().parents[1]
-    src_root = pathlib.Path(argv[0]) if argv else repo_root / "src"
+    src_root = pathlib.Path(argv[0]) if argv else SRC
     violations = find_violations(src_root)
     for path, lineno, line in violations:
         print(f"{path}:{lineno}: unguarded observability call: {line}")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""One-shot lint runner: the full engine plus both legacy wrappers.
+
+Runs ``repro.lint`` with every registered rule over ``src/`` (the same
+thing ``repro lint`` does), then the two legacy entry points —
+``check_trace_guards.py`` and ``check_registries.py`` — so a CI job
+gets one command and one exit code, and any drift between the engine
+and its wrappers shows up as a verdict mismatch here.
+
+Usage::
+
+    python scripts/lint_all.py [--format text|json|sarif] [--baseline PATH]
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+SCRIPTS = REPO_ROOT / "scripts"
+for entry in (str(SRC), str(SCRIPTS)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import check_registries  # noqa: E402
+import check_trace_guards  # noqa: E402
+from repro.lint import load_baseline, render, run_lint  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="engine report format (default text)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="JSON baseline of grandfathered findings")
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    result = run_lint(SRC, baseline=baseline)
+    print(render(result, args.format))
+
+    # The wrappers run the same rules; they are re-executed here so a
+    # wrapper/engine verdict mismatch fails loudly instead of rotting.
+    trace_code = check_trace_guards.main([str(SRC)])
+    registry_code = check_registries.main([])
+    if bool(trace_code) != any(f.rule_id in ("RL001", "RL002")
+                               for f in result.findings):
+        print("verdict mismatch: check_trace_guards.py disagrees with "
+              "the engine's RL001/RL002 findings")
+        return 2
+    if bool(registry_code) != any(f.rule_id == "RL301"
+                                  for f in result.findings):
+        print("verdict mismatch: check_registries.py disagrees with "
+              "the engine's RL301 findings")
+        return 2
+    return 1 if (result.exit_code or trace_code or registry_code) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

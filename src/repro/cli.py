@@ -226,6 +226,43 @@ def cmd_scenario(args):
               f"{len(sim.trace.records)} trace records")
 
 
+def cmd_lint(args):
+    import pathlib
+
+    import repro
+    from repro.lint import (
+        Baseline, LintResult, apply_baseline, load_baseline, render,
+        run_lint, save_baseline,
+    )
+
+    if args.paths:
+        roots = [pathlib.Path(path) for path in args.paths]
+        # Explicit paths get the static rules only: the registry
+        # contract is process-global, not a property of those files.
+        include_project = False
+    else:
+        roots = [pathlib.Path(repro.__file__).resolve().parents[1]]
+        include_project = True
+    result = LintResult()
+    for index, root in enumerate(roots):
+        result.merge(run_lint(
+            root, include_project_rules=include_project and index == 0))
+    if args.update_baseline:
+        if not args.baseline:
+            print("--update-baseline requires --baseline PATH")
+            return 2
+        save_baseline(args.baseline, Baseline.from_findings(
+            result.findings, reason="grandfathered via --update-baseline; "
+                                    "add a real reason"))
+        print(f"wrote baseline with {len(result.findings)} entrie(s) to "
+              f"{args.baseline}")
+        return 0
+    if args.baseline:
+        apply_baseline(result, load_baseline(args.baseline))
+    print(render(result, args.format))
+    return result.exit_code
+
+
 def cmd_phones(_args):
     table = Table(["Key", "Model", "WNIC", "Tis", "Tip", "L assoc"],
                   title="Phone profiles (Table 1 + Table 4)")
@@ -251,6 +288,8 @@ COMMANDS = {
                                "the registries"),
     "obs": (cmd_obs, "run one observed cell and export its metrics"),
     "phones": (cmd_phones, "list the modelled phone profiles"),
+    "lint": (cmd_lint, "static-analysis engine: determinism, obs-guard, "
+                       "API and registry contracts (docs/STATIC_ANALYSIS.md)"),
 }
 
 
@@ -317,6 +356,19 @@ def build_parser():
             run.add_argument("--save-spec", default=None, metavar="PATH",
                              help="write the resolved spec JSON before "
                                   "running")
+        if name == "lint":
+            cmd.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files or directories to lint (default: "
+                                  "the installed repro package source; "
+                                  "explicit paths skip the registry rule)")
+            cmd.add_argument("--format", default="text",
+                             choices=("text", "json", "sarif"),
+                             help="report format (default text)")
+            cmd.add_argument("--baseline", default=None, metavar="PATH",
+                             help="JSON baseline of grandfathered findings")
+            cmd.add_argument("--update-baseline", action="store_true",
+                             help="write the current findings to "
+                                  "--baseline and exit 0")
         if name == "campaign":
             cmd.add_argument("--env", nargs="+", default=["wifi"],
                              choices=environment_keys(),
@@ -346,8 +398,9 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    COMMANDS[args.command][0](args)
-    return 0
+    # Commands return an exit code or None; ``lint`` is the one that
+    # meaningfully fails.
+    return COMMANDS[args.command][0](args) or 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,66 @@
+"""repro.lint — plugin-based static analysis for the simulator's contracts.
+
+The repo's headline claims (bit-identical serial vs parallel campaigns,
+~zero-cost disabled observability, a faithful Tprom/PSM delay model)
+rest on coding contracts: RNG through named ``repro.sim.rng`` streams,
+no wall-clock reads in simulation code, ``.enabled``-guarded
+observability call sites, buildable registry entries.  This package
+turns those conventions into checked rules:
+
+* :mod:`repro.lint.registry` — the ``Rule`` / ``ProjectRule`` protocol
+  and the rule registry (``register_rule``).
+* :mod:`repro.lint.engine` — single-parse-per-file driver with rule
+  isolation (a crashing rule becomes an ``RL000`` finding).
+* :mod:`repro.lint.pragmas` — ``# lint: disable=RLxxx`` line pragmas
+  and the ``# obs: caller-guarded`` observability pragma.
+* :mod:`repro.lint.baseline` — JSON baseline for grandfathered
+  findings, matched by line-independent fingerprints.
+* :mod:`repro.lint.report` — text / JSON / SARIF reporters.
+* rule packs: :mod:`~repro.lint.rules_obs` (RL001/RL002),
+  :mod:`~repro.lint.rules_determinism` (RL101–RL103),
+  :mod:`~repro.lint.rules_quality` (RL201–RL203),
+  :mod:`~repro.lint.rules_registry` (RL301).
+
+Run it as ``repro lint [--format json|sarif] [--baseline PATH]``; the
+rule catalog and the workflow live in docs/STATIC_ANALYSIS.md.
+"""
+
+from repro.lint.baseline import Baseline, load_baseline, save_baseline
+from repro.lint.engine import (
+    LintResult, apply_baseline, lint_file, run_lint,
+)
+from repro.lint.findings import Finding, internal_finding
+from repro.lint.registry import (
+    RULES, ProjectRule, Rule, all_rules, register_rule,
+)
+from repro.lint.report import (
+    render, render_json, render_sarif, render_text, rule_descriptors,
+)
+
+# Importing the rule packs registers the built-in rules.
+from repro.lint import rules_determinism  # noqa: F401  (registers RL1xx)
+from repro.lint import rules_obs  # noqa: F401  (registers RL001/RL002)
+from repro.lint import rules_quality  # noqa: F401  (registers RL2xx)
+from repro.lint import rules_registry  # noqa: F401  (registers RL301)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "ProjectRule",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "internal_finding",
+    "lint_file",
+    "load_baseline",
+    "register_rule",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule_descriptors",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,94 @@
+"""JSON baseline: grandfathered findings that don't fail the run.
+
+A baseline entry matches findings by *fingerprint* (rule + path +
+snippet, no line number — see :class:`~repro.lint.findings.Finding`),
+so grandfathered code can move within its file without churning the
+baseline.  Matching is multiset-style: an entry absorbs exactly one
+finding, two identical violations need two entries.
+
+Every entry carries a ``reason``.  The baseline is for *deliberate*
+exceptions; fixable findings should be fixed, not baselined (see
+docs/STATIC_ANALYSIS.md for the workflow).
+"""
+
+import collections
+import dataclasses
+import json
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    reason: str = ""
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+
+class Baseline:
+    """A loaded baseline: entries plus the multiset matcher."""
+
+    VERSION = 1
+
+    def __init__(self, entries=None):
+        self.entries = list(entries or [])
+
+    @classmethod
+    def from_findings(cls, findings, reason=""):
+        """Grandfather the given findings (used by ``--update-baseline``)."""
+        return cls(BaselineEntry(f.rule_id, f.path, f.fingerprint, reason)
+                   for f in findings)
+
+    @classmethod
+    def from_dict(cls, payload):
+        version = payload.get("version")
+        if version != cls.VERSION:
+            raise ValueError(f"unsupported baseline version {version!r}")
+        return cls(BaselineEntry(
+            rule=entry["rule"], path=entry["path"],
+            fingerprint=entry["fingerprint"],
+            reason=entry.get("reason", ""),
+        ) for entry in payload.get("findings", ()))
+
+    def to_dict(self):
+        ordered = sorted(self.entries,
+                         key=lambda e: (e.path, e.rule, e.fingerprint))
+        return {"version": self.VERSION,
+                "findings": [entry.to_dict() for entry in ordered]}
+
+    def match(self, findings):
+        """Split findings into ``(active, baselined)`` plus stale entries.
+
+        Returns ``(active, baselined, stale)`` where ``stale`` lists
+        baseline entries that matched nothing — fixed violations whose
+        entries should now be deleted.
+        """
+        budget = collections.Counter(e.fingerprint for e in self.entries)
+        active, baselined = [], []
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        stale = []
+        for entry in self.entries:
+            if budget.get(entry.fingerprint, 0) > 0:
+                budget[entry.fingerprint] -= 1
+                stale.append(entry)
+        return active, baselined, stale
+
+
+def load_baseline(path):
+    """Read a baseline JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return Baseline.from_dict(json.load(handle))
+
+
+def save_baseline(path, baseline):
+    """Write a baseline JSON file (stable ordering, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

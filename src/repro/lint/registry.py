@@ -1,0 +1,135 @@
+"""Rule protocol and registry.
+
+Two kinds of rules exist:
+
+* :class:`Rule` — file rules.  The engine parses each file **once** and
+  hands every applicable rule the same ``(tree, source, path)`` triple;
+  ``visit`` returns :class:`~repro.lint.findings.Finding` objects.
+* :class:`ProjectRule` — repo-level rules that cannot be expressed per
+  file (the registry-contract check builds every registered environment
+  and tool).  ``check(root)`` runs once per lint invocation.
+
+Rules self-register with the :func:`register_rule` class decorator; the
+engine and the reporters read the shared :data:`RULES` table, so adding
+a rule module is the whole integration story (import it from
+``repro.lint.__init__`` and it appears in every report format).
+"""
+
+import functools
+import pathlib
+
+from repro.lint.findings import Finding
+
+#: All registered rule singletons, keyed by rule id.
+RULES = {}
+
+
+def register_rule(cls):
+    """Class decorator: instantiate ``cls`` and add it to :data:`RULES`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r} "
+                         f"({cls.__name__} vs {type(RULES[rule.id]).__name__})")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules():
+    """Every registered rule, sorted by id (deterministic run order)."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def logical_parts(path):
+    """Path components *inside* the ``repro`` package, for rule scoping.
+
+    Rules scope themselves to subpackages ("only ``sim``/``net``/...",
+    "never ``obs``") regardless of where the tree being linted lives, so
+    the anchor is the last ``repro`` component of the absolute path:
+    ``/any/where/src/repro/sim/rng.py`` → ``("sim", "rng.py")``.  Trees
+    with no ``repro`` component (test fixtures, ad-hoc files) return
+    ``None`` — the engine then treats every package-scoped rule as
+    applicable, so fixtures exercise rules without faking the layout.
+    """
+    parts = pathlib.Path(path).resolve().parts
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    return parts[anchor + 1:]
+
+
+@functools.lru_cache(maxsize=16)
+def source_lines(source):
+    """Cached ``splitlines()`` so line-oriented rules share one split."""
+    return tuple(source.splitlines())
+
+
+class Rule:
+    """Base class for file rules.
+
+    Subclasses set the metadata attributes and implement
+    ``visit(tree, source, path) -> list[Finding]`` where ``tree`` is the
+    parsed :mod:`ast`, ``source`` the file text, and ``path`` the
+    POSIX-style path the findings should carry.
+
+    Scoping is declarative: ``packages`` limits the rule to files whose
+    first logical component (see :func:`logical_parts`) is in the set
+    (``None`` = whole tree); ``exclude`` lists logical POSIX prefixes
+    (``"obs/"``) or exact files (``"cli.py"``) the rule never visits.
+    """
+
+    id = ""
+    category = "lint"
+    severity = "error"
+    description = ""
+    packages = None
+    exclude = ()
+
+    def applies_to(self, logical):
+        """Whether this rule runs on a file with the given logical parts.
+
+        ``logical`` is the tuple from :func:`logical_parts`, or ``None``
+        for unanchored trees (always in scope, nothing to exclude by
+        package position).
+        """
+        if logical is None:
+            return True
+        posix = "/".join(logical)
+        for prefix in self.exclude:
+            if posix == prefix or posix.startswith(prefix):
+                return False
+        if self.packages is not None and (
+                not logical or logical[0] not in self.packages):
+            return False
+        return True
+
+    def visit(self, tree, source, path):
+        raise NotImplementedError
+
+    def finding(self, path, line, message, source=None):
+        """Build a finding carrying this rule's metadata and a snippet."""
+        snippet = ""
+        if source is not None:
+            lines = source_lines(source)
+            if 1 <= line <= len(lines):
+                snippet = lines[line - 1].strip()
+        return Finding(self.id, path, line, message,
+                       category=self.category, severity=self.severity,
+                       snippet=snippet)
+
+
+class ProjectRule:
+    """Base class for repo-level rules: ``check(root) -> list[Finding]``."""
+
+    id = ""
+    category = "lint"
+    severity = "error"
+    description = ""
+
+    def check(self, root):
+        raise NotImplementedError
+
+    def finding(self, path, line, message):
+        return Finding(self.id, path, line, message,
+                       category=self.category, severity=self.severity)

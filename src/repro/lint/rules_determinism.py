@@ -1,0 +1,211 @@
+"""Determinism rules: the contracts behind bit-identical campaigns.
+
+The simulator promises that the same master seed reproduces the same
+run, serial or parallel (docs/ARCHITECTURE.md).  That only holds while
+simulation code draws randomness from named ``repro.sim.rng`` streams
+and reads time from ``sim.now`` — never from the process's wall clock
+or the ``random`` module's shared global state.  These rules turn that
+convention into a checked property across the simulation packages.
+"""
+
+import ast
+
+from repro.lint.registry import Rule, register_rule
+
+#: Subpackages whose code runs under (or builds) the simulated clock.
+SIM_PACKAGES = frozenset({
+    "sim", "core", "phone", "wifi", "net", "testbed", "cellular",
+    "tools", "sniffer",
+})
+
+#: ``time`` module functions that read the host clock.
+WALL_CLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns",
+})
+
+#: ``datetime``/``date`` constructors that read the host clock.
+WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node):
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _from_imports(tree, module):
+    """Names bound by ``from <module> import ...`` (alias-aware)."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add((alias.asname or alias.name, alias.name))
+    return names
+
+
+class _SimScopedRule(Rule):
+    packages = SIM_PACKAGES
+
+
+@register_rule
+class WallClockRule(_SimScopedRule):
+    """RL101: no host-clock reads inside simulation packages."""
+
+    id = "RL101"
+    category = "determinism"
+    severity = "error"
+    description = ("wall-clock read (time.time()/perf_counter()/"
+                   "datetime.now()/...) in simulation code — use the "
+                   "simulated clock (sim.now)")
+
+    def visit(self, tree, source, path):
+        findings = []
+        time_aliases = {bound for bound, original
+                        in _from_imports(tree, "time")
+                        if original in WALL_CLOCK_TIME_FNS}
+        datetime_names = {bound for bound, original
+                          in _from_imports(tree, "datetime")
+                          if original in ("datetime", "date")}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            flagged = None
+            head, _, tail = name.rpartition(".")
+            if head == "time" and tail in WALL_CLOCK_TIME_FNS:
+                flagged = f"time.{tail}()"
+            elif (tail in WALL_CLOCK_DATETIME_FNS and head
+                  and (head.split(".")[0] == "datetime"
+                       or head in datetime_names)):
+                flagged = f"{name}()"
+            elif not head and name in time_aliases:
+                flagged = f"{name}()"
+            if flagged:
+                findings.append(self.finding(
+                    path, node.lineno,
+                    f"wall-clock read {flagged} in simulation code: "
+                    "derive timing from the simulated clock (sim.now) "
+                    "so runs stay reproducible", source))
+        return findings
+
+
+@register_rule
+class UnseededRandomRule(_SimScopedRule):
+    """RL102: randomness flows through named ``repro.sim.rng`` streams."""
+
+    id = "RL102"
+    category = "determinism"
+    severity = "error"
+    description = ("module-level random.* use (shared global state) or "
+                   "unseeded random.Random() in simulation code — draw "
+                   "from sim.rng.stream(name) instead")
+
+    _MESSAGE = ("use a named stream from the simulator's RNG registry "
+                "(sim.rng.stream(name)) so draws are seeded and "
+                "component-isolated")
+
+    def visit(self, tree, source, path):
+        findings = []
+        random_fn_aliases = {bound for bound, original
+                             in _from_imports(tree, "random")
+                             if original != "Random"}
+        random_class_aliases = {bound for bound, original
+                                in _from_imports(tree, "random")
+                                if original == "Random"}
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.ImportFrom)
+                    and node.module == "random"):
+                bad = sorted(alias.name for alias in node.names
+                             if alias.name != "Random")
+                if bad:
+                    findings.append(self.finding(
+                        path, node.lineno,
+                        f"from random import {', '.join(bad)}: "
+                        f"{self._MESSAGE}", source))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            head, _, tail = name.rpartition(".")
+            if head == "random":
+                if tail == "Random":
+                    if not node.args and not node.keywords:
+                        findings.append(self.finding(
+                            path, node.lineno,
+                            "unseeded random.Random(): seeds from OS "
+                            f"entropy — {self._MESSAGE}", source))
+                else:
+                    findings.append(self.finding(
+                        path, node.lineno,
+                        f"module-level random.{tail}() uses the shared "
+                        f"global RNG — {self._MESSAGE}", source))
+            elif (not head and name in random_class_aliases
+                  and not node.args and not node.keywords):
+                findings.append(self.finding(
+                    path, node.lineno,
+                    f"unseeded {name}(): seeds from OS entropy — "
+                    f"{self._MESSAGE}", source))
+            elif not head and name in random_fn_aliases:
+                findings.append(self.finding(
+                    path, node.lineno,
+                    f"{name}() drawn from the random module's shared "
+                    f"global RNG — {self._MESSAGE}", source))
+        return findings
+
+
+@register_rule
+class NegativeDelayRule(_SimScopedRule):
+    """RL103: no ``schedule()`` call with a negative delay literal."""
+
+    id = "RL103"
+    category = "determinism"
+    severity = "error"
+    description = ("Simulator.schedule() with a negative delay literal — "
+                   "raises SimTimeError at runtime; schedule relative to "
+                   "now with a non-negative delay")
+
+    @staticmethod
+    def _literal_value(node):
+        if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)
+                and isinstance(node.operand, ast.Constant)
+                and isinstance(node.operand.value, (int, float))):
+            return -node.operand.value
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, (int, float))
+                and not isinstance(node.value, bool)):
+            return node.value
+        return None
+
+    def visit(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "schedule"):
+                continue
+            delay = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "delay":
+                    delay = keyword.value
+            if delay is None:
+                continue
+            value = self._literal_value(delay)
+            if value is not None and value < 0:
+                findings.append(self.finding(
+                    path, node.lineno,
+                    f"schedule() with negative delay literal {value!r}: "
+                    "the scheduler raises SimTimeError on negative "
+                    "delays — events cannot fire in the past", source))
+        return findings

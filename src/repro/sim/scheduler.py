@@ -136,9 +136,12 @@ class Simulator:
         """
         metrics = self.metrics
         category = event.label.partition(":")[0] or "event"
-        start = time.perf_counter()
+        # Deliberate wall-clock reads: handler self-time is host-CPU
+        # cost, not simulated time, and feeds a volatile-marked counter
+        # that deterministic snapshots exclude.
+        start = time.perf_counter()  # lint: disable=RL101 (volatile self-time)
         event.fire()
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # lint: disable=RL101 (volatile self-time)
         metrics.inc("scheduler_events_fired_total",  # obs: caller-guarded
                     labels={"category": category})
         metrics.counter("scheduler_handler_self_seconds_total",  # obs: caller-guarded

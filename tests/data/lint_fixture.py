@@ -1,0 +1,34 @@
+"""Seeded fixture: one violation per lint rule, plus pragma interplay.
+
+Linted by tests/test_lint_engine.py and tests/test_lint_reporters.py;
+the golden reports in this directory pin the expected output.  Line
+numbers matter — edit only together with the goldens.
+"""
+
+import random
+import time
+from random import randint
+
+
+def sample(sim, metrics, values=[]):
+    metrics.inc("samples_total")
+    start = time.time()
+    jitter = random.random()
+    sim.schedule(-0.5, sample)
+    try:
+        values.append(start + jitter + randint(0, 2))
+    except:
+        pass
+    print("sampled")
+    return values
+
+
+def quiet(sim):
+    x = 1  # obs: caller-guarded
+    try:
+        sim.run()
+    except Exception:
+        pass
+    print(time.time())  # lint: disable=RL101,RL203 — deliberate demo
+    print(time.time())  # lint: disable=RL101 — only the clock suppressed
+    return x

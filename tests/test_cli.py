@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+FIXTURE = (pathlib.Path(__file__).resolve().parent / "data"
+           / "lint_fixture.py")
 
 
 class TestParser:
@@ -66,6 +72,16 @@ class TestParser:
     def test_scenario_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
+
+    def test_lint_options(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "--format", "sarif", "--baseline", "b.json"])
+        assert args.paths == ["src"]
+        assert args.format == "sarif"
+        assert args.baseline == "b.json"
+        assert build_parser().parse_args(["lint"]).paths == []
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
 
     def test_scenario_rejects_unknown_env_and_tool(self):
         with pytest.raises(SystemExit):
@@ -150,6 +166,31 @@ class TestCommands:
         assert "cellular-lte" in out
         assert "probes: 4" in out
         assert "user RTT" in out
+
+    def test_lint_clean_on_package_source(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_lint_fixture_fails_with_expected_rules(self, capsys):
+        assert main(["lint", str(FIXTURE), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert {row["rule"] for row in doc["findings"]} == {
+            "RL001", "RL002", "RL101", "RL102", "RL103",
+            "RL201", "RL202", "RL203",
+        }
+
+    def test_lint_update_baseline_round_trip(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(FIXTURE), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        assert main(["lint", str(FIXTURE), "--baseline",
+                     str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "lint clean" in out and "12 baselined" in out
+
+    def test_lint_update_baseline_requires_path(self, capsys):
+        assert main(["lint", str(FIXTURE), "--update-baseline"]) == 2
 
     def test_scenario_spec_save_and_load(self, capsys, tmp_path):
         spec_path = tmp_path / "cell.json"

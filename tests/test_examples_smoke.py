@@ -21,6 +21,7 @@ FAST_EXAMPLES = (
     "energy_budget.py",
     "observability_tour.py",
     "scenario_sweep.py",
+    "lint_ci.py",
 )
 
 

@@ -203,13 +203,36 @@ def test_smoke_obs_disabled_overhead():
 
 
 @pytest.mark.perf_smoke
+def test_smoke_lint_full_repo_under_budget():
+    """A full-repo ``repro lint`` run must stay under 5 seconds.
+
+    The engine is wired into tier-1 (tests/test_lint_clean.py), so its
+    latency is tier-1 latency: this gate keeps rule authors honest about
+    per-file cost.  The budget covers every registered rule including
+    the dynamic registry contract (RL301), on the whole ``src/`` tree,
+    with a generous margin over the current cost.
+    """
+    from repro.lint import run_lint
+
+    src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    start = time.perf_counter()
+    result = run_lint(src)
+    elapsed = time.perf_counter() - start
+    assert result.files_scanned > 90
+    assert not result.findings
+    _rates["lint_full_repo_seconds"] = elapsed
+    assert elapsed < 5.0
+
+
+@pytest.mark.perf_smoke
 def test_smoke_emits_bench_json():
     """Persist the rates measured above (runs last in this module)."""
     assert set(_rates) == {"scheduler_events_per_sec",
                            "wire_round_trips_per_sec",
                            "campaign_cells_per_sec",
                            "scenario_build_overhead_pct",
-                           "obs_disabled_overhead_pct"}
+                           "obs_disabled_overhead_pct",
+                           "lint_full_repo_seconds"}
     payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
     payload["seed_baseline"] = _SEED_BASELINE
     payload["workload"] = {

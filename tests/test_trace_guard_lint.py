@@ -3,7 +3,11 @@
 The lint enforces the guard discipline documented in
 ``docs/OBSERVABILITY.md``: every observability call site in ``src/``
 sits behind an ``.enabled`` check (or carries the caller-guarded
-pragma), so disabled observability costs one attribute check.
+pragma), so disabled observability costs one attribute check.  The
+script is a thin wrapper over ``repro.lint`` rules RL001/RL002
+(docs/STATIC_ANALYSIS.md); these tests pin the wrapper's legacy
+behaviour, including flexible pragma spelling and unused-pragma
+detection.
 """
 
 import importlib.util
@@ -58,3 +62,33 @@ def test_lint_accepts_guard_and_pragma(tmp_path):
         encoding="utf-8")
     lint = _load()
     assert lint.find_violations(tmp_path) == []
+
+
+def test_pragma_recognised_with_flexible_spelling(tmp_path):
+    """Whitespace and trailing rationale text don't defeat the pragma."""
+    good = tmp_path / "module.py"
+    good.write_text(
+        "def f(sim):\n"
+        "    sim.metrics.inc('a_total')  #obs:caller-guarded\n"
+        "    sim.metrics.inc('b_total')  #   obs:   caller-guarded\n"
+        "    sim.metrics.inc('c_total')  # obs: caller-guarded — "
+        "guard lives in run()\n",
+        encoding="utf-8")
+    lint = _load()
+    assert lint.find_violations(tmp_path) == []
+
+
+def test_unused_pragma_is_flagged(tmp_path):
+    """A caller-guarded pragma on a line with no observability call is
+    rot (RL002) and fails the wrapper like an unguarded call would."""
+    stale = tmp_path / "module.py"
+    stale.write_text(
+        "def f(sim):\n"
+        "    x = 1  # obs: caller-guarded\n"
+        "    return x\n",
+        encoding="utf-8")
+    lint = _load()
+    violations = lint.find_violations(tmp_path)
+    assert [(line, text) for _, line, text in violations] \
+        == [(2, "x = 1  # obs: caller-guarded")]
+    assert lint.main([str(tmp_path)]) == 1
