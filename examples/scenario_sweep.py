@@ -5,26 +5,33 @@ Declares a mixed-environment grid with the declarative scenario layer,
 runs it through the parallel-capable campaign runner, and shows that
 the same tool on the same emulated path answers differently depending
 on the radio access network in front of it (802.11 PSM/bus-sleep vs
-LTE RRC promotions).
+LTE RRC promotions).  The sweep is journaled to a checkpoint file and
+then resumed (docs/RESILIENCE.md): the resumed run re-emits every cell
+from the journal without re-executing anything.
 
 Run:  python examples/scenario_sweep.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro import ScenarioSpec, run_scenario
 from repro.testbed.campaign import Campaign
 
 
+GRID = dict(envs=("wifi", "cellular-lte"), phones=("nexus5",),
+            rtts=(0.020, 0.050), tools=("acutemon", "ping"),
+            count=8, base_seed=7)
+
+
 def main():
-    campaign = Campaign(envs=("wifi", "cellular-lte"),
-                        phones=("nexus5",),
-                        rtts=(0.020, 0.050),
-                        tools=("acutemon", "ping"),
-                        count=8, base_seed=7)
+    campaign = Campaign(**GRID)
     cells = list(campaign.cells())
     print(f"Sweeping {len(cells)} cells: "
           f"{{wifi, cellular-lte}} x {{20, 50}} ms x "
           f"{{acutemon, ping}} on a Nexus 5...")
-    campaign.run(workers=1,
+    checkpoint = Path(tempfile.mkdtemp()) / "sweep.ckpt.jsonl"
+    campaign.run(workers=1, checkpoint=checkpoint,
                  progress=lambda spec: print(f"  ran {spec.describe()}"))
 
     print()
@@ -48,6 +55,25 @@ def main():
     print(f"  replayed median: {replayed * 1e3:.2f} ms "
           f"(campaign cell uses its own grid seed: "
           f"{match.summary().median * 1e3:.2f} ms)")
+
+    # Every completed cell was journaled under its spec's fingerprint;
+    # an interrupted sweep restarts from the journal.  Resuming the
+    # finished sweep re-emits all cells from cache — nothing re-runs.
+    print()
+    print(f"Resuming from {checkpoint.name} "
+          f"({len(checkpoint.read_text().splitlines())} journal records):")
+    resumed = Campaign(**GRID)
+    resumed.run(workers=1, checkpoint=checkpoint, resume=True)
+    counters = {metric["name"]: metric["value"]
+                for metric in resumed.run_metrics["metrics"]
+                if metric["kind"] == "counter"}
+    print(f"  cells resumed from cache: "
+          f"{counters.get('campaign.cells_resumed', 0)}, "
+          f"re-executed: {counters.get('campaign.cells_run', 0)}")
+    identical = [a.to_dict() for a in campaign.results] \
+        == [b.to_dict() for b in resumed.results]
+    print(f"  resumed results bit-identical to the original run: "
+          f"{identical}")
 
 
 if __name__ == "__main__":

@@ -112,6 +112,9 @@ def cmd_campaign(args):
     from repro.obs import write_snapshot
     from repro.testbed.campaign import Campaign
 
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH")
+        return 2
     campaign = Campaign(
         envs=tuple(args.env),
         phones=tuple(args.phones), rtts=tuple(r * 1e-3 for r in args.rtts),
@@ -122,6 +125,9 @@ def cmd_campaign(args):
     campaign.run(
         workers=workers,
         collect_metrics=bool(args.metrics_out),
+        checkpoint=args.checkpoint, resume=args.resume,
+        cell_timeout=args.cell_timeout, retries=args.retries,
+        retry_backoff=args.retry_backoff,
         progress=lambda spec: print(f"  {verb} {spec.describe()}..."))
     table = Table(["Env", "Phone", "RTT", "Tool", "median (ms)",
                    "error (ms)", "n"],
@@ -133,6 +139,23 @@ def cmd_campaign(args):
                       result.tool, f"{stats.median * 1e3:.2f}",
                       f"{result.error() * 1e3:.2f}", stats.n)
     print(table)
+    if campaign.run_metrics is not None:
+        counters = {metric["name"]: metric["value"]
+                    for metric in campaign.run_metrics["metrics"]}
+        resumed = counters.get("campaign.cells_resumed", 0)
+        retries = counters.get("campaign.retries", 0)
+        if resumed or retries:
+            print(f"resumed {resumed} cell(s) from checkpoint, "
+                  f"{retries} retr{'y' if retries == 1 else 'ies'}")
+    if campaign.quarantine:
+        bad = Table(["Env", "Phone", "RTT", "Tool", "kind", "attempts",
+                     "error"],
+                    title="Quarantined cells")
+        for failure in campaign.quarantine:
+            bad.add_row(failure.env, failure.phone,
+                        f"{failure.rtt * 1e3:.0f}ms", failure.tool,
+                        failure.kind, failure.attempts, failure.error)
+        print(bad)
     if args.out:
         campaign.save(args.out)
         print(f"saved to {args.out}")
@@ -393,6 +416,24 @@ def build_parser():
                              help="run cells observed and write the merged "
                                   "metrics snapshot (.jsonl = JSON lines, "
                                   "anything else = Prometheus text)")
+            cmd.add_argument("--checkpoint", default=None, metavar="PATH",
+                             help="journal each completed cell to this "
+                                  "JSONL file (see docs/RESILIENCE.md)")
+            cmd.add_argument("--resume", action="store_true",
+                             help="skip cells already in --checkpoint and "
+                                  "re-emit their cached results")
+            cmd.add_argument("--cell-timeout", type=float, default=None,
+                             metavar="S",
+                             help="wall-clock budget per cell attempt in "
+                                  "seconds (default: unlimited)")
+            cmd.add_argument("--retries", type=int, default=0, metavar="N",
+                             help="re-run a failing cell up to N times "
+                                  "before quarantining it (default 0)")
+            cmd.add_argument("--retry-backoff", type=float, default=0.0,
+                             metavar="S",
+                             help="base of the deterministic backoff "
+                                  "between attempts: attempt i waits "
+                                  "S * 2**i seconds (default 0)")
     return parser
 
 

@@ -209,3 +209,64 @@ class NegativeDelayRule(_SimScopedRule):
                     "the scheduler raises SimTimeError on negative "
                     "delays — events cannot fire in the past", source))
         return findings
+
+
+@register_rule
+class RawCheckpointWriteRule(_SimScopedRule):
+    """RL104: checkpoint/journal writes go through the atomic helper.
+
+    The resume guarantee — a crash can only tear the journal's final
+    line — holds because every record is exactly one ``write()`` of a
+    complete JSONL line followed by a ``flush()``, which is what
+    ``repro.testbed.resilience.append_journal_record`` does.  A raw
+    ``handle.write()`` / ``json.dump()`` against a journal or checkpoint
+    handle can interleave partial lines (or buffer them past a crash),
+    silently corrupting every later resume.  The helper's home module is
+    the one place allowed to touch the handle directly.
+    """
+
+    id = "RL104"
+    category = "determinism"
+    severity = "error"
+    description = ("raw write to a checkpoint/journal handle bypasses "
+                   "the atomic-append helper "
+                   "(resilience.append_journal_record) — a torn or "
+                   "buffered record corrupts resume")
+    exclude = ("testbed/resilience.py",)
+
+    _NEEDLES = ("journal", "checkpoint")
+
+    @classmethod
+    def _names_journal(cls, node):
+        name = _dotted(node)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(needle in lowered for needle in cls._NEEDLES)
+
+    def visit(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            if attr in ("write", "writelines"):
+                if self._names_journal(node.func.value):
+                    findings.append(self.finding(
+                        path, node.lineno,
+                        f"raw .{attr}() on a checkpoint/journal handle: "
+                        "append records through "
+                        "resilience.append_journal_record so a crash "
+                        "can only tear the final line", source))
+            elif attr == "dump" and _dotted(node.func) == "json.dump":
+                targets = list(node.args) + [keyword.value
+                                             for keyword in node.keywords]
+                if any(self._names_journal(target) for target in targets):
+                    findings.append(self.finding(
+                        path, node.lineno,
+                        "json.dump() straight into a checkpoint/journal "
+                        "handle: append records through "
+                        "resilience.append_journal_record so a crash "
+                        "can only tear the final line", source))
+        return findings

@@ -25,6 +25,12 @@ from repro.testbed.experiments import (
     tool_comparison,
 )
 from repro.testbed.parallel import ParallelCampaignRunner
+from repro.testbed.resilience import (
+    CellFailure,
+    CellTimeout,
+    CheckpointJournal,
+    FaultPolicy,
+)
 from repro.testbed.scenario import (
     TOOLS,
     ScenarioError,
@@ -37,9 +43,13 @@ from repro.testbed.topology import Testbed
 
 __all__ = [
     "Campaign",
+    "CellFailure",
     "CellResult",
+    "CellTimeout",
+    "CheckpointJournal",
     "ENVIRONMENTS",
     "Environment",
+    "FaultPolicy",
     "ParallelCampaignRunner",
     "ScenarioError",
     "ScenarioSpec",

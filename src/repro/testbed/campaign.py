@@ -23,6 +23,11 @@ from repro.testbed.scenario import ScenarioSpec, run_scenario
 class CellResult:
     """The outcome of one campaign cell."""
 
+    #: Successful cells are not failures; quarantined
+    #: :class:`~repro.testbed.resilience.CellFailure` entries override
+    #: this, so ``result.failure`` splits any mixed list cheaply.
+    failure = False
+
     __slots__ = ("phone", "rtt", "tool", "cross_traffic", "seed",
                  "rtts", "layers", "metrics", "env")
 
@@ -110,6 +115,13 @@ class Campaign:
         self.count = count
         self.base_seed = base_seed
         self.results = []
+        #: Cells that exhausted their fault policy this run, as
+        #: :class:`~repro.testbed.resilience.CellFailure` objects.
+        self.quarantine = []
+        #: Runner-level counter snapshot (``campaign.cells_run``,
+        #: ``campaign.cells_resumed``, ``campaign.retries``, ...) from
+        #: the most recent resilient run; ``None`` for plain runs.
+        self.run_metrics = None
 
     @property
     def results(self):
@@ -148,13 +160,16 @@ class Campaign:
             )
 
     def run(self, progress=None, workers=1, chunk_size=None,
-            collect_metrics=False):
+            collect_metrics=False, checkpoint=None, resume=False,
+            fault_policy=None, cell_timeout=None, retries=0,
+            retry_backoff=0.0):
         """Execute every cell; returns the result list.
 
-        ``progress`` (if given) is called with each cell's
-        :class:`ScenarioSpec` just before it runs.  ``workers=1`` (the
-        default) runs in-process and serially.  Any other value
-        delegates to
+        ``progress`` (if given) is called exactly once per cell with its
+        :class:`ScenarioSpec` — just before the cell runs in serial
+        mode, as each cell's result merges in parallel mode.
+        ``workers=1`` (the default) runs in-process and serially.  Any
+        other value delegates to
         :class:`~repro.testbed.parallel.ParallelCampaignRunner`, which
         shards the grid across a process pool (``workers=None`` means
         one worker per CPU) and produces bit-identical results in the
@@ -163,9 +178,31 @@ class Campaign:
         with observability enabled and attaches a metrics snapshot to
         each :class:`CellResult` (see :meth:`merged_metrics`); snapshots
         are deterministic, so serial and parallel runs agree exactly.
+
+        Resilience (see ``docs/RESILIENCE.md``): ``checkpoint`` names a
+        :class:`~repro.testbed.resilience.CheckpointJournal` JSONL file
+        that records each completed cell as it finishes; with
+        ``resume=True`` cells already journaled are skipped and their
+        cached results re-emitted, bit-identical to an uninterrupted
+        run.  ``cell_timeout`` / ``retries`` / ``retry_backoff`` build a
+        per-cell :class:`~repro.testbed.resilience.FaultPolicy` (or pass
+        ``fault_policy`` directly); cells that exhaust the policy land
+        in :attr:`quarantine` as ``CellFailure`` objects instead of
+        failing the sweep, and :attr:`run_metrics` carries the runner's
+        counters (``campaign.retries``, ``campaign.cells_resumed``, ...).
         """
-        if workers == 1:
+        if fault_policy is None and (cell_timeout is not None or retries
+                                     or retry_backoff):
+            from repro.testbed.resilience import FaultPolicy
+            fault_policy = FaultPolicy(cell_timeout=cell_timeout,
+                                       retries=retries,
+                                       backoff=retry_backoff)
+        resilient = (checkpoint is not None or resume
+                     or fault_policy is not None)
+        if workers == 1 and not resilient:
             self.results = []
+            self.quarantine = []
+            self.run_metrics = None
             for spec in self.cells():
                 if progress is not None:
                     progress(spec)
@@ -175,7 +212,9 @@ class Campaign:
         from repro.testbed.parallel import ParallelCampaignRunner
         runner = ParallelCampaignRunner(self, workers=workers,
                                         chunk_size=chunk_size)
-        return runner.run(progress=progress, collect_metrics=collect_metrics)
+        return runner.run(progress=progress, collect_metrics=collect_metrics,
+                          checkpoint=checkpoint, resume=resume,
+                          fault_policy=fault_policy)
 
     # -- persistence ----------------------------------------------------------
 
@@ -186,6 +225,9 @@ class Campaign:
             "envs": list(self.envs),
             "results": [result.to_dict() for result in self.results],
         }
+        if self.quarantine:
+            payload["quarantine"] = [failure.to_dict()
+                                     for failure in self.quarantine]
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
 
@@ -198,6 +240,10 @@ class Campaign:
                        envs=tuple(payload.get("envs", ("wifi",))))
         campaign.results = [CellResult.from_dict(item)
                             for item in payload["results"]]
+        if payload.get("quarantine"):
+            from repro.testbed.resilience import CellFailure
+            campaign.quarantine = [CellFailure.from_dict(item)
+                                   for item in payload["quarantine"]]
         return campaign
 
     def merged_with(self, other):

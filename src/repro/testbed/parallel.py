@@ -5,7 +5,7 @@ yields one self-contained :class:`~repro.testbed.scenario.ScenarioSpec`
 per cell (own seed, own environment), each cell builds a private
 simulator, and both specs and results serialise through JSON.  The
 :class:`ParallelCampaignRunner` exploits that by sharding the spec list
-across a ``multiprocessing`` pool:
+across a process pool:
 
 * cells are grouped into deterministic, contiguous *shards* (chunked
   dispatch keeps per-task overhead low while still load-balancing),
@@ -16,22 +16,41 @@ across a ``multiprocessing`` pool:
   use, so the merged output is byte-identical to a serial run,
 * shard results are merged back in grid order regardless of which worker
   finished first, and
-* execution degrades gracefully to the in-process serial path when
-  ``workers=1``, the grid is tiny, or the platform cannot start worker
-  processes.
+* execution degrades gracefully: the in-process serial path handles
+  ``workers=1``, tiny grids, and platforms that cannot start worker
+  processes, and a pool that breaks mid-sweep (a worker killed by the
+  OS, fork limits) hands the *unmerged remainder* of the grid to the
+  serial path instead of failing — or re-running — anything.
+
+The runner is also where the resilience layer
+(:mod:`repro.testbed.resilience`) plugs in: an optional
+:class:`~repro.testbed.resilience.CheckpointJournal` records each
+completed cell under its spec's content-addressed fingerprint, resume
+re-emits journaled cells without re-running them, and an optional
+:class:`~repro.testbed.resilience.FaultPolicy` bounds every cell with a
+timeout/retry budget, quarantining cells that exhaust it as
+:class:`~repro.testbed.resilience.CellFailure` entries on
+``campaign.quarantine``.  Runner-level counters (``campaign.cells_run``,
+``campaign.cells_resumed``, ``campaign.retries``, ...) land in
+``campaign.run_metrics`` as a :mod:`repro.obs` snapshot.
 
 Determinism: a cell's outcome depends only on its spec — never on
 process-global state shared between cells — so ``run(workers=N)``
 produces results whose ``to_dict()`` payloads are identical for every
-``N``, across WiFi and cellular environments alike.  The test suite
-pins this (``tests/test_parallel_campaign.py``).
+``N``, across WiFi and cellular environments alike, with or without a
+checkpoint, and across crash/resume boundaries.  The test suite pins
+this (``tests/test_parallel_campaign.py``, ``tests/test_campaign_chaos.py``).
 """
 
+import concurrent.futures
 import math
 import multiprocessing
 import os
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.testbed.campaign import CellResult, run_cell
+from repro.obs.metrics import MetricsRegistry
+from repro.testbed import campaign as _campaign
+from repro.testbed import resilience as _resilience
 from repro.testbed.scenario import ScenarioSpec
 
 #: Shards-per-worker used when no explicit chunk size is given: small
@@ -43,12 +62,36 @@ _CHUNKS_PER_WORKER = 4
 def _run_shard(task):
     """Pool task: run a shard of serialized specs, return JSON-ready dicts.
 
-    Module-level so it pickles under every start method (fork or spawn).
+    ``task`` is ``(collect_metrics, policy_payload, spec_payloads)``.
+    Each record pairs the cell payload with its attempt stats::
+
+        {"cell": {...}, "attempts": 1, "timeouts": 0}
+
+    With no fault policy the cell runs directly and an exception
+    propagates (failing the future, and the sweep — the historical
+    contract); under a policy, failures are converted to quarantined
+    ``CellFailure`` payloads instead.  ``run_cell`` is resolved through
+    the campaign module at call time so fork-started workers observe
+    chaos-test monkeypatching.  Module-level so it pickles under every
+    start method (fork or spawn).
     """
-    collect_metrics, spec_payloads = task
-    return [run_cell(ScenarioSpec.from_dict(payload),
-                     collect_metrics=collect_metrics).to_dict()
-            for payload in spec_payloads]
+    collect_metrics, policy_payload, spec_payloads = task
+    policy = (None if policy_payload is None
+              else _resilience.FaultPolicy.from_dict(policy_payload))
+    records = []
+    for payload in spec_payloads:
+        spec = ScenarioSpec.from_dict(payload)
+        if policy is None:
+            result = _campaign.run_cell(spec,
+                                        collect_metrics=collect_metrics)
+            stats = {"attempts": 1, "timeouts": 0}
+        else:
+            result, stats = _resilience.run_cell_with_policy(
+                spec, policy, collect_metrics=collect_metrics)
+        records.append({"cell": result.to_dict(),
+                        "attempts": stats["attempts"],
+                        "timeouts": stats["timeouts"]})
+    return records
 
 
 def default_worker_count():
@@ -84,8 +127,12 @@ class ParallelCampaignRunner:
         self.workers = default_worker_count() if workers is None else workers
         self.chunk_size = chunk_size
         self.start_method = start_method
-        #: "parallel" or "serial" after run(); None before.
+        #: "parallel", "serial", or "parallel-degraded" (pool broke
+        #: mid-sweep, remainder completed serially) after run(); None
+        #: before.
         self.mode = None
+        #: Runner counters for the most recent run (``campaign.*``).
+        self.metrics = MetricsRegistry(enabled=True)
 
     # -- sharding -------------------------------------------------------------
 
@@ -118,55 +165,164 @@ class ParallelCampaignRunner:
 
     # -- execution ------------------------------------------------------------
 
-    def _run_serial(self, cells, progress, collect_metrics=False):
-        results = []
-        for spec in cells:
+    def _count(self, name, amount=1):
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc(name, amount)
+
+    def _merge_cell(self, state, index, spec, result, stats,
+                    progress=None):
+        """Install one finished cell: slot, counters, journal, progress."""
+        state["slots"][index] = result
+        self._count("campaign.retries", stats["attempts"] - 1)
+        self._count("campaign.cell_timeouts", stats["timeouts"])
+        if result.failure:
+            self._count("campaign.cells_quarantined")
+        else:
+            self._count("campaign.cells_run")
+            journal = state["journal"]
+            if journal is not None:
+                journal.append(state["fingerprints"][index], result)
+                self._count("campaign.checkpoint_writes")
+        if progress is not None:
+            progress(spec)
+
+    def _run_cell(self, spec, policy, collect_metrics):
+        """One in-process cell under the optional fault policy."""
+        if policy is None:
+            result = _campaign.run_cell(spec,
+                                        collect_metrics=collect_metrics)
+            return result, {"attempts": 1, "timeouts": 0}
+        return _resilience.run_cell_with_policy(
+            spec, policy, collect_metrics=collect_metrics)
+
+    def _run_serial(self, state, pending, progress, policy,
+                    collect_metrics):
+        """Run ``pending`` ``(index, spec)`` cells in-process, in order.
+
+        Serial semantics fire ``progress`` *before* each cell runs (so a
+        watcher sees what is about to execute); the merge therefore
+        fires no second callback.
+        """
+        for index, spec in pending:
             if progress is not None:
                 progress(spec)
-            results.append(run_cell(spec, collect_metrics=collect_metrics))
-        return results
+            result, stats = self._run_cell(spec, policy, collect_metrics)
+            self._merge_cell(state, index, spec, result, stats)
 
-    def run(self, progress=None, collect_metrics=False):
+    def _run_parallel(self, state, pending, progress, policy,
+                      collect_metrics, workers, pool_context):
+        """Shard ``pending`` across a process pool, merging in grid order.
+
+        Tracks how many cells have merged in ``state["merged"]`` so that
+        a pool that breaks mid-sweep (:class:`BrokenProcessPool`,
+        ``OSError``) lets the caller resume serially from exactly the
+        first unmerged cell — nothing re-runs, nothing is lost, and
+        ``progress`` still fires exactly once per cell.
+        """
+        shards = self.shards(pending)
+        policy_payload = None if policy is None else policy.to_dict()
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=pool_context) as executor:
+            tasks = [(collect_metrics, policy_payload,
+                      [spec.to_dict() for _, spec in shard])
+                     for shard in shards]
+            futures = [executor.submit(_run_shard, task) for task in tasks]
+            # Merge in submission (grid) order regardless of which
+            # worker finishes first; parallel mode fires progress as
+            # each cell's result merges.
+            for shard, future in zip(shards, futures):
+                for (index, spec), record in zip(shard, future.result()):
+                    result = _resilience.result_from_dict(record["cell"])
+                    self._merge_cell(state, index, spec, result, record,
+                                     progress=progress)
+                    state["merged"] += 1
+
+    def run(self, progress=None, collect_metrics=False, checkpoint=None,
+            resume=False, fault_policy=None):
         """Execute the grid and install the merged results.
 
-        ``progress(spec)`` is invoked once per cell with its
+        ``progress(spec)`` is invoked exactly once per cell with its
         :class:`ScenarioSpec`: before the cell runs when serial, as each
-        shard's results are merged when parallel.  ``collect_metrics``
-        makes every cell run observed and carry its metrics snapshot
-        home through the same JSON round-trip as the rest of the result.
-        Returns the result list (also assigned to ``campaign.results``,
-        in grid order).
+        cell's result merges when parallel, and immediately for cells
+        restored from the checkpoint cache.  ``collect_metrics`` makes
+        every cell run observed and carry its metrics snapshot home
+        through the same JSON round-trip as the rest of the result.
+
+        ``checkpoint`` (a path) journals every completed cell through a
+        :class:`~repro.testbed.resilience.CheckpointJournal`;
+        ``resume=True`` first loads the journal and re-emits cached
+        results for cells whose fingerprints already appear, running
+        only the remainder — the final result list and merged metrics
+        are bit-identical to an uninterrupted run.  ``fault_policy``
+        applies a per-cell timeout/retry budget; cells that exhaust it
+        become quarantined
+        :class:`~repro.testbed.resilience.CellFailure` entries on
+        ``campaign.quarantine`` instead of failing the sweep.  Without a
+        policy, a raising cell fails the run (the historical contract).
+
+        Returns the successful result list (also assigned to
+        ``campaign.results``, in grid order); ``campaign.run_metrics``
+        receives this run's counter snapshot.
         """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
         campaign = self.campaign
         cells = list(campaign.cells())
-        workers = min(self.workers, len(cells))
+        self.metrics = MetricsRegistry(enabled=True)
+        state = {
+            "slots": [None] * len(cells),
+            "fingerprints": None,
+            "journal": None,
+            "merged": 0,
+        }
+        journal = None
+        if checkpoint is not None:
+            state["fingerprints"] = [spec.fingerprint() for spec in cells]
+            journal = _resilience.CheckpointJournal(checkpoint)
+        cache = journal.load() if (journal is not None and resume) else {}
+        pending = []
+        for index, spec in enumerate(cells):
+            payload = cache.get(state["fingerprints"][index]) if cache \
+                else None
+            if payload is not None:
+                result = _resilience.result_from_dict(payload)
+                state["slots"][index] = result
+                self._count("campaign.cells_resumed")
+                if progress is not None:
+                    progress(spec)
+            else:
+                pending.append((index, spec))
+        workers = min(self.workers, len(pending)) if pending else 0
         pool_context = self._pool_context() if workers > 1 else None
-        if workers <= 1 or pool_context is None:
-            self.mode = "serial"
-            results = self._run_serial(cells, progress,
-                                       collect_metrics=collect_metrics)
-        else:
-            self.mode = "parallel"
-            shards = self.shards(cells)
-            results = []
-            try:
-                with pool_context.Pool(processes=workers) as pool:
-                    # imap (not imap_unordered) keeps grid order while
-                    # still streaming finished shards for progress.
-                    tasks = [(collect_metrics,
-                              [spec.to_dict() for spec in shard])
-                             for shard in shards]
-                    for shard, payloads in zip(shards,
-                                               pool.imap(_run_shard, tasks)):
-                        for spec, payload in zip(shard, payloads):
-                            if progress is not None:
-                                progress(spec)
-                            results.append(CellResult.from_dict(payload))
-            except OSError:
-                # Process creation failed mid-flight (fork limits,
-                # sandboxed platforms): degrade to the serial path.
+        try:
+            if journal is not None:
+                state["journal"] = journal.open()
+            if workers <= 1 or pool_context is None:
                 self.mode = "serial"
-                results = self._run_serial(cells, progress,
-                                           collect_metrics=collect_metrics)
-        campaign.results = results
+                self._run_serial(state, pending, progress, fault_policy,
+                                 collect_metrics)
+            else:
+                self.mode = "parallel"
+                try:
+                    self._run_parallel(state, pending, progress,
+                                       fault_policy, collect_metrics,
+                                       workers, pool_context)
+                except (BrokenProcessPool, OSError):
+                    # A worker died or process creation failed
+                    # mid-flight: finish the unmerged remainder
+                    # in-process.  Already-merged (and journaled) cells
+                    # are kept, so nothing re-runs.
+                    self.mode = "parallel-degraded"
+                    self._count("campaign.pool_failures")
+                    self._run_serial(state, pending[state["merged"]:],
+                                     progress, fault_policy,
+                                     collect_metrics)
+        finally:
+            if journal is not None:
+                journal.close()
+        slots = state["slots"]
+        campaign.results = [cell for cell in slots if not cell.failure]
+        campaign.quarantine = [cell for cell in slots if cell.failure]
+        campaign.run_metrics = self.metrics.snapshot()
         return campaign.results

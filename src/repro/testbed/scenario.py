@@ -18,6 +18,7 @@ name, and every registered tool drives through the same
 ``run_sync(count)`` contract.  See ``docs/ARCHITECTURE.md``.
 """
 
+import hashlib
 import json
 
 from repro.core.acutemon import AcuteMon, AcuteMonConfig
@@ -289,6 +290,29 @@ class ScenarioSpec:
         return type(self).from_dict(data)
 
     # -- identity -------------------------------------------------------------
+
+    def canonical_json(self):
+        """The canonical serialization: sorted keys, no whitespace.
+
+        Two specs that compare equal produce byte-identical canonical
+        JSON regardless of construction order (``env_params`` /
+        ``tool_params`` insertion order included), which is what makes
+        :meth:`fingerprint` a content address.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self):
+        """Content address of this cell: SHA-256 of :meth:`canonical_json`.
+
+        Stable across JSON round-trips and process boundaries; any
+        single-field change produces a different fingerprint.  The
+        checkpoint journal (:mod:`repro.testbed.resilience`) keys cached
+        cell results by this value, so resumed campaigns re-emit a
+        cached result only for an exactly-identical spec.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()
 
     def key(self):
         """The campaign grid identity of this cell."""

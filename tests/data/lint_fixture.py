@@ -32,3 +32,11 @@ def quiet(sim):
     print(time.time())  # lint: disable=RL101,RL203 — deliberate demo
     print(time.time())  # lint: disable=RL101 — only the clock suppressed
     return x
+
+
+def persist(journal, checkpoint_file, record):
+    import json
+
+    journal.write(record)
+    json.dump(record, checkpoint_file)
+    return journal

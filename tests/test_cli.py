@@ -56,6 +56,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--env", "ethernet"])
 
+    def test_campaign_resilience_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--checkpoint", "sweep.jsonl", "--resume",
+             "--cell-timeout", "30", "--retries", "2",
+             "--retry-backoff", "0.5"])
+        assert args.checkpoint == "sweep.jsonl"
+        assert args.resume
+        assert args.cell_timeout == 30.0
+        assert args.retries == 2
+        assert args.retry_backoff == 0.5
+
+    def test_campaign_resilience_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.checkpoint is None
+        assert not args.resume
+        assert args.cell_timeout is None
+        assert args.retries == 0
+        assert args.retry_backoff == 0.0
+
     def test_scenario_run_options(self):
         args = build_parser().parse_args(
             ["scenario", "run", "--env", "cellular-lte",
@@ -150,6 +169,22 @@ class TestCommands:
         assert "over wifi" in out and "over cellular-lte" in out
         assert "Env" in out
 
+    def test_campaign_checkpoint_and_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "sweep.ckpt.jsonl"
+        base = ["--count", "3", "campaign", "--rtts", "20", "--tools",
+                "ping", "--checkpoint", str(checkpoint)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert checkpoint.read_text().strip()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 1 cell(s) from checkpoint" in out
+
+    def test_campaign_resume_without_checkpoint_errors(self, capsys):
+        assert main(["campaign", "--resume"]) == 2
+        assert "--resume requires --checkpoint" \
+            in capsys.readouterr().out
+
     def test_scenario_list(self, capsys):
         assert main(["scenario", "list"]) == 0
         out = capsys.readouterr().out
@@ -175,7 +210,7 @@ class TestCommands:
         assert main(["lint", str(FIXTURE), "--format", "json"]) == 1
         doc = json.loads(capsys.readouterr().out)
         assert {row["rule"] for row in doc["findings"]} == {
-            "RL001", "RL002", "RL101", "RL102", "RL103",
+            "RL001", "RL002", "RL101", "RL102", "RL103", "RL104",
             "RL201", "RL202", "RL203",
         }
 
@@ -187,7 +222,7 @@ class TestCommands:
         assert main(["lint", str(FIXTURE), "--baseline",
                      str(baseline)]) == 0
         out = capsys.readouterr().out
-        assert "lint clean" in out and "12 baselined" in out
+        assert "lint clean" in out and "14 baselined" in out
 
     def test_lint_update_baseline_requires_path(self, capsys):
         assert main(["lint", str(FIXTURE), "--update-baseline"]) == 2

@@ -94,9 +94,12 @@ class TestSharding:
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
                               tools=("ping",))
         cells = list(campaign.cells())
-        payloads = _run_shard((False, [spec.to_dict() for spec in cells]))
-        assert len(payloads) == 1
-        restored = CellResult.from_dict(payloads[0])
+        records = _run_shard(
+            (False, None, [spec.to_dict() for spec in cells]))
+        assert len(records) == 1
+        assert records[0]["attempts"] == 1
+        assert records[0]["timeouts"] == 0
+        restored = CellResult.from_dict(records[0]["cell"])
         assert restored.key() == ("wifi", "nexus5", 0.02, "ping", False)
         assert len(restored.rtts) == campaign.count
         assert restored.metrics is None
@@ -105,8 +108,9 @@ class TestSharding:
         campaign = small_grid(phones=("nexus5",), rtts=(0.02,),
                               tools=("ping",))
         cells = list(campaign.cells())
-        payloads = _run_shard((True, [spec.to_dict() for spec in cells]))
-        restored = CellResult.from_dict(payloads[0])
+        records = _run_shard(
+            (True, None, [spec.to_dict() for spec in cells]))
+        restored = CellResult.from_dict(records[0]["cell"])
         assert restored.metrics is not None
         names = {entry["name"] for entry in restored.metrics["metrics"]}
         assert "scheduler_events_fired" in names
@@ -145,6 +149,73 @@ class TestFallbacksAndProgress:
         reference.run()
         campaign.run(workers=None)
         assert serialized(campaign) == serialized(reference)
+
+
+class TestCheckpointResume:
+    """Journal/resume plumbing at the runner level; the chaos suite
+    (tests/test_campaign_chaos.py) covers crash scenarios."""
+
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        plain = small_grid(tools=("ping",))
+        plain.run(workers=1)
+        checkpointed = small_grid(tools=("ping",))
+        checkpointed.run(workers=1,
+                         checkpoint=tmp_path / "sweep.jsonl")
+        assert serialized(checkpointed) == serialized(plain)
+
+    def test_parallel_checkpoint_then_serial_resume(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        first = small_grid(tools=("ping",))
+        first.run(workers=4, checkpoint=checkpoint)
+        resumed = small_grid(tools=("ping",))
+        resumed.run(workers=1, checkpoint=checkpoint, resume=True)
+        assert serialized(resumed) == serialized(first)
+        counters = {metric["name"]: metric["value"]
+                    for metric in resumed.run_metrics["metrics"]}
+        assert counters["campaign.cells_resumed"] == 4
+
+    def test_resume_without_checkpoint_raises(self):
+        campaign = small_grid(tools=("ping",))
+        runner = ParallelCampaignRunner(campaign, workers=2)
+        with pytest.raises(ValueError, match="checkpoint"):
+            runner.run(resume=True)
+
+
+class TestProgressExactlyOnce:
+    """``progress`` fires exactly once per cell in every mode."""
+
+    def counted(self, campaign, **run_kwargs):
+        from collections import Counter
+        seen = Counter()
+        campaign.run(progress=lambda spec: seen.update([spec.key()]),
+                     **run_kwargs)
+        expected = Counter(spec.key() for spec in campaign.cells())
+        return seen, expected
+
+    def test_serial_plain(self):
+        seen, expected = self.counted(small_grid(tools=("ping",)),
+                                      workers=1)
+        assert seen == expected
+
+    def test_serial_resilient(self, tmp_path):
+        seen, expected = self.counted(
+            small_grid(tools=("ping",)), workers=1,
+            checkpoint=tmp_path / "sweep.jsonl", retries=1)
+        assert seen == expected
+
+    def test_parallel(self):
+        seen, expected = self.counted(small_grid(tools=("ping",)),
+                                      workers=4)
+        assert seen == expected
+
+    def test_resumed_cells_still_fire(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        first = small_grid(tools=("ping",))
+        first.run(workers=1, checkpoint=checkpoint)
+        seen, expected = self.counted(
+            small_grid(tools=("ping",)), workers=1,
+            checkpoint=checkpoint, resume=True)
+        assert seen == expected
 
 
 class TestResultIndex:

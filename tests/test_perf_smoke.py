@@ -203,6 +203,49 @@ def test_smoke_obs_disabled_overhead():
 
 
 @pytest.mark.perf_smoke
+def test_smoke_checkpoint_overhead(tmp_path):
+    """Journaling cells must not meaningfully slow a campaign down.
+
+    A checkpointed run (docs/RESILIENCE.md) adds exactly one unit of
+    work per completed cell: hash the spec's canonical JSON and append
+    one flushed JSONL record to the open journal.  Best-of-3 timing of
+    that per-cell unit, expressed as a percentage of the per-cell
+    execution time measured by ``test_smoke_campaign_cell_rate``
+    (which runs earlier in this module) — the same methodology as
+    ``test_smoke_scenario_build_overhead``.  Timing the unit directly
+    keeps the gate deterministic where a wall-clock A/B of two ~20ms
+    campaign runs drowns a ~30us/cell delta in scheduler noise.  The
+    3% gate only trips if checkpointing grows real per-cell work (an
+    fsync on the default path, re-serialising results, hashing more
+    than once per cell).
+    """
+    from repro.testbed.resilience import CheckpointJournal
+
+    campaign = Campaign(phones=("nexus5",), rtts=(0.02,),
+                        tools=("ping",), count=3)
+    campaign.run(workers=1)
+    (result,) = campaign.results
+    (spec,) = campaign.cells()
+
+    ops = 200
+    journal = CheckpointJournal(tmp_path / "perf_checkpoint.jsonl")
+
+    def checkpoint_cells():
+        for _ in range(ops):
+            journal.append(spec.fingerprint(), result)
+
+    best = 0.0
+    with journal:
+        for _ in range(3):
+            best = max(best, _rate(ops, checkpoint_cells))
+    per_cell_seconds = 1.0 / best
+    cells_per_sec = _rates["campaign_cells_per_sec"]
+    overhead = per_cell_seconds * cells_per_sec * 100.0
+    _rates["checkpoint_overhead_pct"] = overhead
+    assert overhead <= 3.0
+
+
+@pytest.mark.perf_smoke
 def test_smoke_lint_full_repo_under_budget():
     """A full-repo ``repro lint`` run must stay under 5 seconds.
 
@@ -232,6 +275,7 @@ def test_smoke_emits_bench_json():
                            "campaign_cells_per_sec",
                            "scenario_build_overhead_pct",
                            "obs_disabled_overhead_pct",
+                           "checkpoint_overhead_pct",
                            "lint_full_repo_seconds"}
     payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
     payload["seed_baseline"] = _SEED_BASELINE

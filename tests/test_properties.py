@@ -16,6 +16,7 @@ from repro.net.packet import (
 )
 from repro.net.queues import DropTailQueue
 from repro.sim.scheduler import Simulator
+from repro.testbed.scenario import ScenarioSpec
 
 finite_floats = st.floats(min_value=-1e6, max_value=1e6,
                           allow_nan=False, allow_infinity=False)
@@ -189,3 +190,53 @@ class TestSchedulerProperties:
             sim.schedule(index * 0.1, fired.append, index)
         sim.run(until=2.05)
         assert all(i * 0.1 <= 2.05 for i in fired)
+
+
+@st.composite
+def scenario_specs(draw):
+    """Valid, fully-parameterised scenario specs across both env families."""
+    env = draw(st.sampled_from(("wifi", "cellular-3g", "cellular-lte")))
+    return ScenarioSpec(
+        env=env,
+        phone=draw(st.sampled_from(("nexus5", "nexus4", "htc_one"))),
+        tool=draw(st.sampled_from(("acutemon", "ping", "httping"))),
+        emulated_rtt=draw(st.floats(min_value=0.005, max_value=0.2,
+                                    allow_nan=False)),
+        count=draw(st.integers(1, 50)),
+        seed=draw(st.integers(0, 2 ** 31)),
+        # Cross traffic and keeping the SDIO bus awake (bus_sleep=False)
+        # are WiFi-only capabilities.
+        cross_traffic=draw(st.booleans()) if env == "wifi" else False,
+        bus_sleep=draw(st.booleans()) if env == "wifi" else True,
+        observe=draw(st.booleans()),
+    )
+
+
+class TestFingerprintProperties:
+    """The checkpoint cache key (docs/RESILIENCE.md): equal content ⇔
+    equal fingerprint, stable across JSON round-trips."""
+
+    @given(spec=scenario_specs())
+    @settings(max_examples=50)
+    def test_fingerprint_stable_across_json_round_trip(self, spec):
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.fingerprint() == spec.fingerprint()
+
+    @given(spec=scenario_specs())
+    @settings(max_examples=50)
+    def test_rebuilding_from_payload_preserves_fingerprint(self, spec):
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.fingerprint() == spec.fingerprint()
+        assert clone.canonical_json() == spec.canonical_json()
+
+    @given(a=scenario_specs(), b=scenario_specs())
+    @settings(max_examples=100)
+    def test_fingerprints_agree_exactly_when_content_does(self, a, b):
+        assert (a.fingerprint() == b.fingerprint()) \
+            == (a.to_dict() == b.to_dict())
+
+    @given(spec=scenario_specs(), delta=st.integers(1, 10_000))
+    @settings(max_examples=50)
+    def test_seed_shift_always_moves_the_fingerprint(self, spec, delta):
+        assert spec.replace(seed=spec.seed + delta).fingerprint() \
+            != spec.fingerprint()

@@ -119,6 +119,75 @@ class TestSerialization:
         assert spec.env_params == {"t1": 3.0}
 
 
+class TestFingerprint:
+    """The content address behind checkpoint/resume (docs/RESILIENCE.md)."""
+
+    FULL = dict(env="wifi", phone="nexus4", tool="acutemon",
+                emulated_rtt=0.05, count=7, interval=0.5, seed=42,
+                cross_traffic=False, bus_sleep=True, settle=0.25,
+                observe=True, env_params={"queue_depth": 8},
+                tool_params={"probe_method": "udp"})
+
+    #: One valid mutation per spec field; each must move the fingerprint.
+    MUTATIONS = [
+        ("env", "cellular-lte"),
+        ("phone", "nexus5"),
+        ("tool", "ping"),
+        ("emulated_rtt", 0.08),
+        ("count", 9),
+        ("interval", 1.0),
+        ("seed", 43),
+        ("cross_traffic", True),
+        ("bus_sleep", False),
+        ("settle", 0.5),
+        ("observe", False),
+        ("env_params", {"queue_depth": 9}),
+        ("tool_params", {"probe_method": "tcp"}),
+    ]
+
+    def test_equal_specs_equal_fingerprints(self):
+        assert ScenarioSpec(**self.FULL).fingerprint() \
+            == ScenarioSpec(**self.FULL).fingerprint()
+
+    def test_fingerprint_is_sha256_hex(self):
+        fingerprint = ScenarioSpec(**self.FULL).fingerprint()
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_mutations_cover_every_field(self):
+        assert {name for name, _ in self.MUTATIONS} \
+            == set(ScenarioSpec().to_dict())
+
+    @pytest.mark.parametrize("field,value", MUTATIONS)
+    def test_single_field_mutation_changes_fingerprint(self, field,
+                                                       value):
+        base = ScenarioSpec(**self.FULL)
+        mutated = base.replace(**{field: value})
+        assert mutated.fingerprint() != base.fingerprint(), (
+            f"mutating {field} left the fingerprint unchanged")
+
+    def test_stable_across_json_round_trip(self):
+        spec = ScenarioSpec(**self.FULL)
+        restored = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert restored.fingerprint() == spec.fingerprint()
+        assert ScenarioSpec.from_json(spec.to_json()).fingerprint() \
+            == spec.fingerprint()
+
+    def test_params_key_order_does_not_matter(self):
+        first = ScenarioSpec(env_params={"a": 1, "b": 2})
+        second = ScenarioSpec(env_params={"b": 2, "a": 1})
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        spec = ScenarioSpec(**self.FULL)
+        canonical = spec.canonical_json()
+        assert json.loads(canonical) == spec.to_dict()
+        assert ": " not in canonical and ", " not in canonical
+        keys = list(json.loads(canonical))
+        assert keys == sorted(keys)
+
+
 class TestToolRegistry:
     def test_known_tools(self):
         assert set(tool_keys()) == {"acutemon", "ping", "httping",
