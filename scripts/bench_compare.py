@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate BENCH_simulator.json against its recorded performance baseline.
+
+``tests/test_perf_smoke.py`` writes the measured rates plus a
+``seed_baseline`` block (the same workload shapes run against the
+growth-seed commit).  This script diffs the two and fails when any
+gated metric — a metric with a baseline entry — regressed more than
+the threshold below its baseline, so a perf regression blocks CI the
+same way a test failure does.
+
+Usage::
+
+    python scripts/bench_compare.py [--bench PATH] [--against PATH]
+                                    [--threshold PCT]
+
+``--against`` swaps the baseline source for another bench JSON (e.g. a
+file saved from the previous release) instead of the embedded
+``seed_baseline``; the gated-metric set is still taken from the current
+file's ``seed_baseline`` keys so the contract stays declared in one
+place.  Exit codes: 0 pass, 1 regression (or missing metric), 2 bad
+input.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_BENCH = REPO_ROOT / "BENCH_simulator.json"
+
+
+def load_bench(path):
+    try:
+        return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+
+
+def compare(bench, baseline, threshold_pct):
+    """Yield (metric, baseline, current, delta_pct, regressed) rows."""
+    for metric in sorted(baseline):
+        reference = float(baseline[metric])
+        current = bench.get(metric)
+        if current is None:
+            yield metric, reference, None, None, True
+            continue
+        current = float(current)
+        delta_pct = ((current - reference) / reference * 100.0
+                     if reference else float("inf"))
+        regressed = current < reference * (1.0 - threshold_pct / 100.0)
+        yield metric, reference, current, delta_pct, regressed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default=str(DEFAULT_BENCH),
+                        metavar="PATH",
+                        help="bench JSON to check (default: repo root)")
+    parser.add_argument("--against", default=None, metavar="PATH",
+                        help="take baseline values from another bench "
+                             "JSON instead of the embedded seed_baseline")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed regression below baseline "
+                             "(default 10%%)")
+    args = parser.parse_args(argv)
+
+    bench = load_bench(args.bench)
+    gated = bench.get("seed_baseline")
+    if not isinstance(gated, dict) or not gated:
+        print(f"bench_compare: {args.bench} has no seed_baseline block")
+        return 2
+    baseline = dict(gated)
+    if args.against:
+        against = load_bench(args.against)
+        baseline = {metric: against[metric] for metric in gated
+                    if metric in against}
+        missing = sorted(set(gated) - set(baseline))
+        if missing:
+            print(f"bench_compare: {args.against} lacks gated "
+                  f"metric(s): {', '.join(missing)}")
+            return 2
+
+    failures = 0
+    width = max(len(metric) for metric in baseline)
+    for metric, reference, current, delta_pct, regressed in compare(
+            bench, baseline, args.threshold):
+        if current is None:
+            print(f"FAIL {metric:<{width}}  missing from {args.bench}")
+            failures += 1
+            continue
+        verdict = "FAIL" if regressed else "ok  "
+        print(f"{verdict} {metric:<{width}}  baseline {reference:>14,.1f}"
+              f"  current {current:>14,.1f}  ({delta_pct:+.1f}%)")
+        failures += regressed
+    if failures:
+        print(f"bench_compare: {failures} gated metric(s) regressed "
+              f"more than {args.threshold:g}% below baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

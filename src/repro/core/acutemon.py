@@ -136,18 +136,12 @@ class AcuteMon:
         if self.config.warmup_enabled:
             self._send_warmup()
             if self.config.background_enabled:
-                self._bg_event = self.sim.schedule(
-                    self.config.db, self._background_tick,
-                    label=f"{self.name}-bg",
-                )
+                self._start_background_train()
             self.sim.schedule(self.config.dpre, self._begin_measurement,
                               label=f"{self.name}-mt-start")
         else:
             if self.config.background_enabled:
-                self._bg_event = self.sim.schedule(
-                    self.config.db, self._background_tick,
-                    label=f"{self.name}-bg",
-                )
+                self._start_background_train()
             self._begin_measurement()
 
     def _finish(self):
@@ -181,6 +175,15 @@ class AcuteMon:
             ttl=self.config.warmup_ttl, meta=meta,
         ))
 
+    def _start_background_train(self):
+        # Chained re-arm (``rearm_after``): each successor is scheduled
+        # ``db`` after the tick that fired, exactly like the former
+        # self-rescheduling callback; _finish() cancels the train.
+        self._bg_event = self.sim.schedule_periodic(
+            self.config.db, self._background_tick, rearm_after=True,
+            label=f"{self.name}-bg",
+        )
+
     def _background_tick(self):
         if not self.running:
             return
@@ -194,9 +197,6 @@ class AcuteMon:
             payload_size=self.config.background_payload,
             ttl=self.config.warmup_ttl, meta=meta,
         ))
-        self._bg_event = self.sim.schedule(
-            self.config.db, self._background_tick, label=f"{self.name}-bg",
-        )
 
     # -- measurement thread ---------------------------------------------------
 

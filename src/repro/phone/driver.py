@@ -22,8 +22,6 @@ matter of reading ``driver.samples``.
 
 from collections import deque
 
-from repro.sim.timers import PeriodicTimer
-
 BUS_AWAKE = "AWAKE"
 BUS_ASLEEP = "ASLEEP"
 
@@ -62,11 +60,13 @@ class SdioBus:
         self.sleep_count = 0
         self.wake_count = 0
         self._slept_at = None
-        self._watchdog = PeriodicTimer(
-            sim, chipset.watchdog_period, self._watchdog_tick,
+        # The dhd watchdog is a scheduler-native periodic train — the
+        # densest timer in the model (10 ms, per bus), so it rides the
+        # scheduler's batched fast path.
+        self._watchdog = sim.schedule_periodic(
+            chipset.watchdog_period, self._watchdog_tick,
             label=f"watchdog:{name}",
         )
-        self._watchdog.start()
 
     @property
     def asleep(self):
@@ -142,7 +142,7 @@ class SdioBus:
 
     def stop(self):
         """Stop the watchdog (simulation teardown)."""
-        self._watchdog.stop()
+        self._watchdog.cancel()
 
     def __repr__(self):
         return f"<SdioBus {self.name} {self.state} idlecount={self.idlecount}>"

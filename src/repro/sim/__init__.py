@@ -6,17 +6,20 @@ event-driven simulator.  The design goals are:
 * **Determinism** — two runs with the same seed produce bit-identical
   traces.  All randomness flows through named :class:`~repro.sim.rng.RngRegistry`
   streams; wall-clock time never enters the simulation.
-* **Transparency** — the scheduler is a plain binary heap of events; a
+* **Transparency** — the scheduler is a timing wheel with an exact
+  total order (see :mod:`repro.sim.scheduler`); a
   :class:`~repro.sim.trace.TraceRecorder` can capture every interesting
   transition for tests and debugging.
-* **Callback style** — components schedule plain callables.  Helper
-  classes (:class:`~repro.sim.timers.Timer`,
+* **Callback style** — components schedule plain callables.  Periodic
+  work uses :meth:`~repro.sim.scheduler.Simulator.schedule_periodic`
+  trains (batched on the fast path); helper classes
+  (:class:`~repro.sim.timers.Timer`,
   :class:`~repro.sim.timers.PeriodicTimer`) cover the recurring patterns
   used by drivers (watchdogs) and access points (beacons).
 """
 
 from repro.sim.errors import SchedulerError, SimTimeError, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, PeriodicEvent
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Simulator
 from repro.sim.timers import PeriodicTimer, Timer
@@ -38,6 +41,7 @@ from repro.sim.units import (
 
 __all__ = [
     "Event",
+    "PeriodicEvent",
     "PeriodicTimer",
     "RngRegistry",
     "SchedulerError",

@@ -82,3 +82,50 @@ class Event:
         state = "canceled" if self.canceled else "pending"
         name = self.label or getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} {name} [{state}]>"
+
+
+class PeriodicEvent(Event):
+    """One periodic train: a single event the scheduler re-arms in place.
+
+    Created by :meth:`repro.sim.scheduler.Simulator.schedule_periodic`.
+    Instead of allocating a fresh :class:`Event` per tick, the scheduler
+    re-stamps ``time`` and ``seq`` after each firing — and, on its fast
+    path, runs whole slot-sized batches of ticks in one inner loop.
+    :meth:`Event.cancel` stops the train exactly like cancelling a
+    one-shot event, including from inside the train's own callback.
+
+    Two re-arm disciplines exist:
+
+    * anchored (``rearm_after=False``, the default): tick ``i`` fires at
+      ``anchor + i * period``, so callback latency can never cause
+      drift, and the successor's ``seq`` is drawn *before* the callback
+      runs — the same observable order as a callback that re-schedules
+      itself first thing.
+    * chained (``rearm_after=True``): the successor is armed *after*
+      the callback returns, at ``now + period``, matching a callback
+      that re-schedules itself as its last statement.
+    """
+
+    __slots__ = ("period", "anchor", "index", "ticks", "rearm_after",
+                 "batch_hint")
+
+    def __init__(self, time, fn, args=(), kwargs=None, label="",
+                 period=0.0, anchor=0.0, index=0, rearm_after=False):
+        super().__init__(time, fn, args, kwargs, label=label)
+        self.period = period
+        self.anchor = anchor
+        #: Grid index of the currently-armed tick (anchored mode).
+        self.index = index
+        #: Number of times the callback has fired since creation.
+        self.ticks = 0
+        self.rearm_after = rearm_after
+        #: Adaptive batch chunk size, tuned by the scheduler: grown while
+        #: batches complete untouched, reset when callbacks interact with
+        #: the scheduler (which ends a batch early).
+        self.batch_hint = 4
+
+    def __repr__(self):
+        state = "canceled" if self.canceled else "running"
+        name = self.label or getattr(self.fn, "__qualname__", repr(self.fn))
+        return (f"<PeriodicEvent t={self.time:.6f} period={self.period:.6f} "
+                f"ticks={self.ticks} {name} [{state}]>")

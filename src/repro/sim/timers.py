@@ -60,6 +60,13 @@ class PeriodicTimer:
     (first firing after one full period, matching a hardware timer armed at
     boot).  Deadlines are computed from the start epoch, not from firing
     times, so callback latency cannot cause drift.
+
+    A thin wrapper over
+    :meth:`~repro.sim.scheduler.Simulator.schedule_periodic`: one armed
+    :class:`~repro.sim.events.PeriodicEvent` carries the whole train, the
+    scheduler re-arms it in place (batching ticks on its fast path), and
+    the successor is armed *before* the callback runs so the callback can
+    :meth:`stop` the timer and have that stick.
     """
 
     def __init__(self, sim, period, callback, label=""):
@@ -68,46 +75,32 @@ class PeriodicTimer:
         self._sim = sim
         self.period = period
         self._callback = callback
-        self._event = None
-        self._epoch = None
-        self._ticks = 0
+        self._train = None
         self.label = label
 
     @property
     def running(self):
         """Whether the timer is currently generating ticks."""
-        return self._event is not None
+        return self._train is not None and not self._train.canceled
 
     @property
     def ticks(self):
         """Number of times the callback has fired since :meth:`start`."""
-        return self._ticks
+        return self._train.ticks if self._train is not None else 0
 
     def start(self, phase=0.0):
         """Start ticking.  ``phase`` delays the first tick (0 <= phase < period)."""
         self.stop()
-        self._epoch = self._sim.now + phase
-        self._ticks = 0
-        self._event = self._sim.schedule(
-            self.period + phase, self._fire, label=self.label or "periodic"
+        self._train = self._sim.schedule_periodic(
+            self.period, self._callback, phase=phase,
+            label=self.label or "periodic",
         )
 
     def stop(self):
-        """Stop ticking."""
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        """Stop ticking.  :attr:`ticks` keeps its count until the next start."""
+        if self._train is not None and not self._train.canceled:
+            self._train.cancel()
 
     def next_deadline(self):
         """Absolute time of the next tick, or ``None`` when stopped."""
-        return self._event.time if self._event is not None else None
-
-    def _fire(self):
-        self._ticks += 1
-        # Schedule the successor *before* the callback so the callback can
-        # stop() the timer and have that stick.
-        next_time = self._epoch + (self._ticks + 1) * self.period
-        self._event = self._sim.at(
-            next_time, self._fire, label=self.label or "periodic"
-        )
-        self._callback()
+        return self._train.time if self.running else None

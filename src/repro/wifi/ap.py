@@ -14,7 +14,6 @@ Combines three roles from the testbed's NETGEAR WNDR3800:
 """
 
 from repro.net.router import RouterPort
-from repro.sim.timers import PeriodicTimer
 from repro.sim.units import tu
 from repro.wifi.channel import Radio
 from repro.wifi.frames import BeaconFrame, DataFrame, NullDataFrame, PsPollFrame
@@ -81,11 +80,12 @@ class AccessPoint:
             "wlan", wlan_ip, wlan_network, transmit=self._wireless_transmit
         )
         self.router.add_port(self.wlan_port)
-        self._beacon_timer = PeriodicTimer(
-            sim, tu(beacon_interval_tu), self._beacon_tick,
+        # Beacon generation is a scheduler-native periodic train: one
+        # armed event for the whole run, batched on the fast path.
+        self._beacon_train = sim.schedule_periodic(
+            tu(beacon_interval_tu), self._beacon_tick,
             label=f"beacon:{name}",
         )
-        self._beacon_timer.start()
 
     @property
     def mac(self):

@@ -98,7 +98,7 @@ class Station(Radio):
         self._psm_timer = Timer(sim, self._psm_timeout, label=f"psm:{name}")
         self._listening_for_beacon = False
         self._fetching = False  # static mode: mid PS-Poll retrieval
-        self._beacon_listen_event = None
+        self._tbtt_train = None  # periodic wake train while dozing
         self._beacon_interval = None
         self._beacon_wait_start = None
         self._doze_started = None
@@ -240,9 +240,7 @@ class Station(Radio):
         self._schedule_beacon_listen()
 
     def _wake(self, reason):
-        if self._beacon_listen_event is not None:
-            self._beacon_listen_event.cancel()
-            self._beacon_listen_event = None
+        self._cancel_beacon_listen()
         self._listening_for_beacon = False
         self._fetching = False
         self._beacon_wait_start = None
@@ -289,15 +287,34 @@ class Station(Radio):
         return next_index * interval
 
     def _schedule_beacon_listen(self):
+        """Arm (or keep) the periodic TBTT wake train while dozing.
+
+        One :meth:`~repro.sim.scheduler.Simulator.schedule_periodic`
+        train covers every listen cycle of a doze period: tick ``k``
+        wakes the receiver ``beacon_guard`` before the ``k``-th listened
+        beacon.  A train armed on the current grid is kept as-is — this
+        method then only restarts the beacon-wait span clock — and
+        re-armed from scratch when the beacon interval changed.
+        """
+        self._beacon_wait_start = self.sim.now
+        period = (self.psm.listen_interval + 1) * self._beacon_interval
+        train = self._tbtt_train
+        if train is not None and not train.canceled and train.period == period:
+            return
+        self._cancel_beacon_listen()
         wake_at = self._next_listen_tbtt() - self.psm.beacon_guard
         wake_at = max(wake_at, self.sim.now)
-        self._beacon_wait_start = self.sim.now
-        self._beacon_listen_event = self.sim.at(
-            wake_at, self._begin_beacon_listen, label=f"tbtt-wake:{self.name}"
+        self._tbtt_train = self.sim.schedule_periodic(
+            period, self._begin_beacon_listen, first=wake_at,
+            label=f"tbtt-wake:{self.name}",
         )
 
+    def _cancel_beacon_listen(self):
+        if self._tbtt_train is not None:
+            self._tbtt_train.cancel()
+            self._tbtt_train = None
+
     def _begin_beacon_listen(self):
-        self._beacon_listen_event = None
         self._listening_for_beacon = True
 
     def _handle_beacon(self, beacon):
@@ -315,6 +332,9 @@ class Station(Radio):
         if self.aid in beacon.tim_aids:
             if self.psm.is_static:
                 # Legacy PSM: poll for one buffered frame, stay in PS.
+                # No TBTT wakes while fetching; _static_data_received
+                # re-arms the train once the retrieval completes.
+                self._cancel_beacon_listen()
                 self._fetching = True
                 self.ps_polls_sent += 1
                 self.enqueue_frame(PsPollFrame(self.ap.mac, self.mac, self.aid))

@@ -40,3 +40,8 @@ def persist(journal, checkpoint_file, record):
     journal.write(record)
     json.dump(record, checkpoint_file)
     return journal
+
+
+def poke(sim):
+    sim._heap.clear()
+    return sim._wheel_cursor

@@ -37,6 +37,8 @@ FIXTURE_EXPECTED = [
     (33, "RL203"),  # print survives a RL101-only disable
     (40, "RL104"),  # raw journal.write()
     (41, "RL104"),  # json.dump() into a checkpoint handle
+    (46, "RL105"),  # sim._heap access outside the scheduler core
+    (47, "RL105"),  # sim._wheel_cursor access outside the scheduler core
 ]
 
 
@@ -205,8 +207,8 @@ class TestRegistryAndScoping:
 
     def test_builtin_rule_ids(self):
         assert set(RULES) == {"RL001", "RL002", "RL101", "RL102",
-                              "RL103", "RL104", "RL201", "RL202",
-                              "RL203", "RL301"}
+                              "RL103", "RL104", "RL105", "RL201",
+                              "RL202", "RL203", "RL301"}
 
     def test_logical_parts_anchor_on_repro(self):
         assert logical_parts("/x/src/repro/sim/rng.py") == ("sim", "rng.py")
