@@ -6,6 +6,8 @@
   the paper's Figures 3 and 7 define them (median, quartiles, whiskers
   at the extrema after excluding 1.5 IQR outliers),
 * :mod:`repro.analysis.cdf` — empirical CDFs for Figures 8 and 9,
+* :mod:`repro.analysis.decompose` — campaign-scale delay-decomposition
+  reports ("which inflation mechanism dominates, per grid slice"),
 * :mod:`repro.analysis.render` — plain-text tables and CDF sketches so
   every benchmark prints the same rows/series the paper reports.
 """
@@ -13,6 +15,14 @@
 from repro.analysis.boxstats import BoxStats
 from repro.analysis.cdf import Cdf
 from repro.analysis.compare import dominates, ks_statistic, ks_test, median_shift
+from repro.analysis.decompose import (
+    DecompositionReport,
+    SliceDecomposition,
+    decompose_campaign,
+    decompose_snapshot,
+    render_report,
+    write_report,
+)
 from repro.analysis.render import Table, render_boxplot_row, render_cdf
 from repro.analysis.report import MarkdownReport, campaign_report
 from repro.analysis.stats import SummaryStats, mean_ci
@@ -21,9 +31,15 @@ from repro.analysis.timeline import ProbeTimeline, probe_timeline
 __all__ = [
     "BoxStats",
     "Cdf",
+    "DecompositionReport",
     "MarkdownReport",
     "ProbeTimeline",
+    "SliceDecomposition",
     "campaign_report",
+    "decompose_campaign",
+    "decompose_snapshot",
+    "render_report",
+    "write_report",
     "dominates",
     "ks_statistic",
     "ks_test",

@@ -109,6 +109,7 @@ def cmd_ping2(args):
 
 
 def cmd_campaign(args):
+    from repro.analysis.decompose import decompose_campaign, write_report
     from repro.obs import write_snapshot
     from repro.testbed.campaign import Campaign
 
@@ -124,7 +125,7 @@ def cmd_campaign(args):
     verb = "running" if workers == 1 else "finished"
     campaign.run(
         workers=workers,
-        collect_metrics=bool(args.metrics_out),
+        collect_metrics=bool(args.metrics_out or args.report_out),
         checkpoint=args.checkpoint, resume=args.resume,
         cell_timeout=args.cell_timeout, retries=args.retries,
         retry_backoff=args.retry_backoff,
@@ -163,6 +164,34 @@ def cmd_campaign(args):
         merged = campaign.merged_metrics()
         fmt = write_snapshot(args.metrics_out, merged)
         print(f"wrote merged metrics ({fmt}) to {args.metrics_out}")
+    if args.report_out:
+        report = decompose_campaign(campaign)
+        if report is None:
+            print("no decomposition data (no observed probes completed)")
+        else:
+            fmt = write_report(args.report_out, report)
+            print(f"wrote decomposition report ({fmt}) to {args.report_out}")
+
+
+def cmd_report(args):
+    from repro.analysis.decompose import decompose_campaign, render_report
+    from repro.testbed.campaign import Campaign
+
+    campaign = Campaign.load(args.campaign)
+    report = decompose_campaign(campaign)
+    if report is None:
+        print("error: no decomposition data in this campaign — re-run "
+              "with `repro campaign --metrics-out/--report-out` so cells "
+              "record metrics")
+        return 1
+    text = render_report(report, args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def cmd_obs(args):
@@ -307,6 +336,8 @@ COMMANDS = {
     "compare": (cmd_compare, "tool comparison CDFs (Figure 8)"),
     "ping2": (cmd_ping2, "ping2 vs AcuteMon error sweep"),
     "campaign": (cmd_campaign, "run an env x phone x RTT x tool grid"),
+    "report": (cmd_report, "delay-decomposition breakdown of a saved "
+                           "campaign (which mechanism dominates where)"),
     "scenario": (cmd_scenario, "run one declarative scenario, or list "
                                "the registries"),
     "obs": (cmd_obs, "run one observed cell and export its metrics"),
@@ -379,6 +410,16 @@ def build_parser():
             run.add_argument("--save-spec", default=None, metavar="PATH",
                              help="write the resolved spec JSON before "
                                   "running")
+        if name == "report":
+            cmd.add_argument("campaign", metavar="CAMPAIGN.json",
+                             help="campaign result file saved by "
+                                  "`repro campaign --out` (cells must "
+                                  "carry metrics)")
+            cmd.add_argument("--format", default="text",
+                             choices=("text", "json", "prom"),
+                             help="report format (default text)")
+            cmd.add_argument("--out", default=None, metavar="PATH",
+                             help="write the report instead of printing")
         if name == "lint":
             cmd.add_argument("paths", nargs="*", metavar="PATH",
                              help="files or directories to lint (default: "
@@ -416,6 +457,10 @@ def build_parser():
                              help="run cells observed and write the merged "
                                   "metrics snapshot (.jsonl = JSON lines, "
                                   "anything else = Prometheus text)")
+            cmd.add_argument("--report-out", default=None, metavar="PATH",
+                             help="run cells observed and write the delay-"
+                                  "decomposition report (.json / .prom / "
+                                  "anything else = text)")
             cmd.add_argument("--checkpoint", default=None, metavar="PATH",
                              help="journal each completed cell to this "
                                   "JSONL file (see docs/RESILIENCE.md)")

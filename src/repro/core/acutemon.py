@@ -20,6 +20,12 @@ at start unless explicitly overridden.
 """
 
 from repro.core.warmup import DEFAULT_DB, DEFAULT_DPRE
+from repro.obs.names import (
+    ACUTEMON_BACKGROUND_PACKETS_TOTAL,
+    ACUTEMON_PROBES_TOTAL,
+    ACUTEMON_WARMUP_PACKETS_TOTAL,
+    SPAN_MEASUREMENT_PROBE,
+)
 
 PROBE_METHODS = ("tcp_syn", "http", "icmp", "udp")
 
@@ -168,7 +174,7 @@ class AcuteMon:
         meta = self.collector.meta_for(record)
         self.warmups_sent += 1
         if self.sim.metrics.enabled:
-            self.sim.metrics.inc("acutemon_warmup_packets_total")
+            self.sim.metrics.inc(ACUTEMON_WARMUP_PACKETS_TOTAL)
         self.phone.user_send(lambda: self.phone.stack.send_udp(
             self.target_ip, self.config.warmup_port,
             payload_size=self.config.background_payload,
@@ -191,7 +197,7 @@ class AcuteMon:
         meta = self.collector.meta_for(record)
         self.background_sent += 1
         if self.sim.metrics.enabled:
-            self.sim.metrics.inc("acutemon_background_packets_total")
+            self.sim.metrics.inc(ACUTEMON_BACKGROUND_PACKETS_TOTAL)
         self.phone.user_send(lambda: self.phone.stack.send_udp(
             self.target_ip, self.config.warmup_port,
             payload_size=self.config.background_payload,
@@ -292,12 +298,12 @@ class AcuteMon:
         self.collector.record_user_recv(probe_id, now)
         self.results.append(ProbeOutcome(probe_id, t0, now - t0))
         if self.sim.spans.enabled:
-            self.sim.spans.record("measurement.probe", t0, now,
+            self.sim.spans.record(SPAN_MEASUREMENT_PROBE, t0, now,
                                   probe_id=probe_id,
                                   method=self.config.probe_method,
                                   outcome="ok")
         if self.sim.metrics.enabled:
-            self.sim.metrics.inc("acutemon_probes_total",
+            self.sim.metrics.inc(ACUTEMON_PROBES_TOTAL,
                                  labels={"outcome": "ok"})
         if self.config.probe_gap > 0:
             self.sim.schedule(self.config.probe_gap, self._next_probe,
@@ -314,12 +320,12 @@ class AcuteMon:
         self.collector.record_timeout(probe_id)
         self.results.append(ProbeOutcome(probe_id, t0, None))
         if self.sim.spans.enabled:
-            self.sim.spans.record("measurement.probe", t0, self.sim.now,
+            self.sim.spans.record(SPAN_MEASUREMENT_PROBE, t0, self.sim.now,
                                   probe_id=probe_id,
                                   method=self.config.probe_method,
                                   outcome="timeout")
         if self.sim.metrics.enabled:
-            self.sim.metrics.inc("acutemon_probes_total",
+            self.sim.metrics.inc(ACUTEMON_PROBES_TOTAL,
                                  labels={"outcome": "timeout"})
         self._next_probe()
 

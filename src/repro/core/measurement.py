@@ -19,6 +19,12 @@ from which the layered RTTs fall out as plain arithmetic:
 """
 
 from repro.net.packet import TCP_ACK, TcpSegment
+from repro.obs.names import (
+    PROBE_DN_SECONDS,
+    PROBE_DU_SECONDS,
+    PROBE_INFLATION_SECONDS,
+    PROBE_TIMEOUTS_TOTAL,
+)
 
 PROBE_KINDS = ("probe", "warmup", "background")
 
@@ -149,17 +155,25 @@ class ProbeCollector:
 
     def record_user_send(self, probe_id, time):
         self._records[probe_id].user_send = time
+        # The probe transaction is now in flight: spans recorded until
+        # the reply (bus wakes, beacon waits, ...) belong to it.
+        if self.sim.spans.enabled:
+            self.sim.spans.set_probe(probe_id)
 
     def record_user_recv(self, probe_id, time):
         record = self._records[probe_id]
         record.user_recv = time
+        if self.sim.spans.enabled:
+            self.sim.spans.clear_probe(probe_id)
         if self.sim.metrics.enabled:
             self._observe_record(record)
 
     def record_timeout(self, probe_id):
         self._records[probe_id].timed_out = True
+        if self.sim.spans.enabled:
+            self.sim.spans.clear_probe(probe_id)
         if self.sim.metrics.enabled:
-            self.sim.metrics.inc("probe_timeouts_total",
+            self.sim.metrics.inc(PROBE_TIMEOUTS_TOTAL,
                                  labels={"kind": self._records[probe_id].kind})
 
     def _observe_record(self, record):
@@ -173,14 +187,14 @@ class ProbeCollector:
         labels = {"kind": record.kind}
         du = record.du
         if du is not None:
-            metrics.observe("probe_du_seconds",  # obs: caller-guarded
+            metrics.observe(PROBE_DU_SECONDS,  # obs: caller-guarded
                             du, labels=labels)
         dn = record.dn
         if dn is not None:
-            metrics.observe("probe_dn_seconds",  # obs: caller-guarded
+            metrics.observe(PROBE_DN_SECONDS,  # obs: caller-guarded
                             dn, labels=labels)
         if du is not None and dn is not None:
-            metrics.observe("probe_inflation_seconds",  # obs: caller-guarded
+            metrics.observe(PROBE_INFLATION_SECONDS,  # obs: caller-guarded
                             du - dn, labels=labels)
 
     # -- kernel tap ---------------------------------------------------------

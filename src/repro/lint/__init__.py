@@ -17,7 +17,8 @@ turns those conventions into checked rules:
   findings, matched by line-independent fingerprints.
 * :mod:`repro.lint.report` — text / JSON / SARIF reporters.
 * rule packs: :mod:`~repro.lint.rules_obs` (RL001/RL002),
-  :mod:`~repro.lint.rules_determinism` (RL101–RL103),
+  :mod:`~repro.lint.rules_determinism` (RL101–RL105),
+  :mod:`~repro.lint.rules_names` (RL106),
   :mod:`~repro.lint.rules_quality` (RL201–RL203),
   :mod:`~repro.lint.rules_registry` (RL301).
 
@@ -39,6 +40,7 @@ from repro.lint.report import (
 
 # Importing the rule packs registers the built-in rules.
 from repro.lint import rules_determinism  # noqa: F401  (registers RL1xx)
+from repro.lint import rules_names  # noqa: F401  (registers RL106)
 from repro.lint import rules_obs  # noqa: F401  (registers RL001/RL002)
 from repro.lint import rules_quality  # noqa: F401  (registers RL2xx)
 from repro.lint import rules_registry  # noqa: F401  (registers RL301)

@@ -1,0 +1,76 @@
+"""Metric/span naming contract (RL106).
+
+Every metric and span name the simulator emits is declared once, in
+:mod:`repro.obs.names` — the table :mod:`repro.analysis.decompose`, the
+exporters and the dashboards key on.  An inline string literal at a call
+site silently forks that namespace: a typo creates a second series
+nobody aggregates, and a rename in the table misses the stray literal.
+``RL106`` therefore requires call sites to pass a name *constant* (any
+non-literal expression — in practice an import from ``repro.obs.names``)
+rather than a string literal.
+
+The obs package itself is excluded: the recorders' internals and the
+names table are where strings legitimately live.
+"""
+
+import ast
+
+from repro.lint.registry import Rule, register_rule
+
+#: Recording methods whose first argument is a metric name.
+METRIC_METHODS = frozenset({
+    "inc", "observe", "set_gauge", "counter", "gauge", "histogram",
+})
+
+#: Recording methods whose first argument is a span name.
+SPAN_METHODS = frozenset({"record", "begin"})
+
+#: Receiver attribute/variable names that identify the recorders.
+_RECEIVERS = {"metrics": METRIC_METHODS, "spans": SPAN_METHODS}
+
+
+def _receiver_name(node):
+    """The trailing identifier of ``a.b.metrics`` / ``metrics``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register_rule
+class InlineObsNameRule(Rule):
+    """RL106: metric/span names come from the ``repro.obs.names`` table."""
+
+    id = "RL106"
+    category = "obs-naming"
+    severity = "error"
+    description = ("inline string literal as a metric/span name at a "
+                   "recording call site — declare the name in "
+                   "repro.obs.names and pass the constant")
+    # The recorders and the names table own their strings; the lint
+    # package quotes call patterns in docstrings and fixtures.
+    exclude = ("obs/", "lint/")
+
+    def visit(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            receiver = _receiver_name(node.func.value)
+            methods = _RECEIVERS.get(receiver)
+            if methods is None or node.func.attr not in methods:
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if (isinstance(name_arg, ast.Constant)
+                    and isinstance(name_arg.value, str)):
+                findings.append(self.finding(
+                    path, node.lineno,
+                    f"inline name literal {name_arg.value!r} in "
+                    f"{receiver}.{node.func.attr}(): declare it in "
+                    "repro.obs.names and import the constant so the "
+                    "series namespace has one source of truth", source))
+        return findings

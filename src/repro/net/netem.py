@@ -7,6 +7,8 @@ fixed delay, optional jitter (uniform or normal), optional loss — and can
 be attached to any host's egress.
 """
 
+from repro.obs.names import SPAN_WIRE_NETEM
+
 
 class NetemStats:
     __slots__ = ("delayed", "lost")
@@ -73,9 +75,14 @@ class NetemQdisc:
         if self.loss > 0 and self.rng.random() < self.loss:
             self.stats.lost += 1
             return
-        release = self._sim.now + self.draw_delay()
+        sim = self._sim
+        release = sim.now + self.draw_delay()
         if self.maintain_order and release < self._last_release:
             release = self._last_release
         self._last_release = release
         self.stats.delayed += 1
-        self._sim.at(release, forward, packet, label=f"netem:{self.name}")
+        if sim.spans.enabled and packet.probe_id is not None:
+            # Emulated wired-path delay: one leg of the probe's nRTT.
+            sim.spans.record(SPAN_WIRE_NETEM, sim.now, release,
+                             netem=self.name, probe_id=packet.probe_id)
+        sim.at(release, forward, packet, label=f"netem:{self.name}")

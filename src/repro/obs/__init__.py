@@ -16,6 +16,12 @@ then export through :mod:`repro.obs.export` (JSON-lines, Prometheus
 text, Chrome trace-event JSON).  See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.attribution import (
+    COMPONENTS,
+    ProbeAttribution,
+    attribute_probes,
+    attribute_record,
+)
 from repro.obs.export import (
     to_chrome_trace,
     to_jsonl,
@@ -31,16 +37,28 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.names import (
+    SCHEDULER_EVENTS_CANCELED,
+    SCHEDULER_EVENTS_FIRED,
+    SCHEDULER_PENDING_EVENTS,
+    SIM_CLOCK_SECONDS,
+)
+from repro.obs.sketch import DDSketch
 from repro.obs.spans import Span, SpanTracker, span_metric_name
 
 __all__ = [
+    "COMPONENTS",
+    "DDSketch",
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProbeAttribution",
     "Span",
     "SpanTracker",
+    "attribute_probes",
+    "attribute_record",
     "enable_observability",
     "finalize_sim_metrics",
     "merge_snapshots",
@@ -74,7 +92,7 @@ def finalize_sim_metrics(sim):
     if not sim.metrics.enabled:
         return
     metrics = sim.metrics
-    metrics.set_gauge("scheduler_events_fired", sim.events_fired)
-    metrics.set_gauge("scheduler_events_canceled", sim.events_canceled)
-    metrics.set_gauge("scheduler_pending_events", sim.pending())
-    metrics.set_gauge("sim_clock_seconds", sim.now)
+    metrics.set_gauge(SCHEDULER_EVENTS_FIRED, sim.events_fired)
+    metrics.set_gauge(SCHEDULER_EVENTS_CANCELED, sim.events_canceled)
+    metrics.set_gauge(SCHEDULER_PENDING_EVENTS, sim.pending())
+    metrics.set_gauge(SIM_CLOCK_SECONDS, sim.now)

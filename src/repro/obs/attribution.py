@@ -1,0 +1,179 @@
+"""Causal delay decomposition: attribute each probe's RTT to mechanisms.
+
+The paper's core claim is that the user-level RTT ``du`` a smartphone
+tool reports decomposes into mechanism-level delays — SDIO bus
+promotion (Tprom), PSM beacon waits, driver queueing, 802.11 airtime —
+stacked on top of the wired-path RTT.  This module computes that
+decomposition *per probe* from the spans the instrumented stack records
+(see :class:`~repro.obs.spans.SpanTracker`'s probe context), producing
+for every completed probe transaction::
+
+    du == sdio.promotion + psm.beacon_wait + queueing + airtime + wire
+          + unattributed
+
+The identity is **exact by construction**: all arithmetic runs on an
+integer-nanosecond grid, each component is clipped to the probe's
+user-level window ``[tou, tiu]`` and then clamped to the budget still
+unexplained, in the declared :data:`COMPONENTS` order.  The
+``unattributed`` residual is whatever remains — explicit, and never
+negative.  (Clipping to the window keeps ambient spans — a doze period
+bracketing the probe — from over-claiming; clamping keeps overlapping
+mechanisms, e.g. a beacon wait during a bus wake, from double-counting.)
+
+Per-cell aggregation feeds the ``probe_component_seconds`` histogram
+(one label per component), which rides the ordinary snapshot → journal →
+:func:`~repro.obs.metrics.merge_snapshots` pipeline into
+:mod:`repro.analysis.decompose` — so campaign-scale decomposition
+reports are bit-identical across serial, parallel, and resumed runs.
+"""
+
+from repro.obs.names import (
+    PROBE_COMPONENT_SECONDS,
+    SPAN_DRIVER_QUEUEING,
+    SPAN_PSM_BEACON_WAIT,
+    SPAN_SDIO_PROMOTION,
+    SPAN_WIRE_NETEM,
+    SPAN_WLAN_AIRTIME,
+)
+
+#: Component name -> span names that feed it, in attribution order.
+#: Order is the clamping priority: earlier components claim budget
+#: first, so the mechanisms the paper identifies as dominant
+#: (bus promotion, beacon waits) are never starved by later ones.
+COMPONENT_SPANS = (
+    ("sdio.promotion", (SPAN_SDIO_PROMOTION,)),
+    ("psm.beacon_wait", (SPAN_PSM_BEACON_WAIT,)),
+    ("queueing", (SPAN_DRIVER_QUEUEING,)),
+    ("airtime", (SPAN_WLAN_AIRTIME,)),
+    ("wire", (SPAN_WIRE_NETEM,)),
+)
+
+#: The explicit residual component.
+RESIDUAL = "unattributed"
+
+#: All component names in report order (residual last).
+COMPONENTS = tuple(name for name, _ in COMPONENT_SPANS) + (RESIDUAL,)
+
+_NS = 1_000_000_000
+
+
+def _ns(seconds):
+    return round(seconds * _NS)
+
+
+class ProbeAttribution:
+    """One probe's RTT split into named components (integer ns).
+
+    ``total_ns == sum(component_ns.values()) + residual_ns`` holds
+    exactly; ``residual_ns >= 0`` always.
+    """
+
+    __slots__ = ("probe_id", "kind", "total_ns", "component_ns",
+                 "residual_ns")
+
+    def __init__(self, probe_id, kind, total_ns, component_ns, residual_ns):
+        self.probe_id = probe_id
+        self.kind = kind
+        self.total_ns = total_ns
+        self.component_ns = component_ns
+        self.residual_ns = residual_ns
+
+    @property
+    def total(self):
+        """The attributed RTT in seconds (``du`` on the ns grid)."""
+        return self.total_ns / _NS
+
+    def components(self):
+        """``{component: seconds}`` including the residual, in
+        :data:`COMPONENTS` order."""
+        out = {name: self.component_ns[name] / _NS
+               for name, _ in COMPONENT_SPANS}
+        out[RESIDUAL] = self.residual_ns / _NS
+        return out
+
+    def as_dict(self):
+        return {
+            "probe_id": self.probe_id,
+            "kind": self.kind,
+            "total_ns": self.total_ns,
+            "components_ns": dict(self.component_ns),
+            "residual_ns": self.residual_ns,
+        }
+
+    def __repr__(self):
+        parts = " ".join(f"{name}={ns / 1e6:.2f}ms"
+                         for name, ns in self.component_ns.items() if ns)
+        return (f"<ProbeAttribution #{self.probe_id} "
+                f"du={self.total_ns / 1e6:.2f}ms {parts} "
+                f"residual={self.residual_ns / 1e6:.2f}ms>")
+
+
+def spans_by_probe(spans):
+    """Index an iterable of spans by their ``probe_id`` field."""
+    index = {}
+    for span in spans:
+        probe_id = span.fields.get("probe_id")
+        if probe_id is not None:
+            index.setdefault(probe_id, []).append(span)
+    return index
+
+
+def attribute_record(record, probe_spans):
+    """Decompose one completed :class:`~repro.core.measurement.ProbeRecord`.
+
+    ``probe_spans`` are the spans attributed to this probe (any order).
+    Returns a :class:`ProbeAttribution`, or ``None`` when the record
+    has no user-level RTT yet.
+    """
+    if record.user_send is None or record.user_recv is None:
+        return None
+    window_start = record.user_send
+    window_end = record.user_recv
+    total_ns = _ns(window_end - window_start)
+    by_name = {}
+    for span in probe_spans:
+        by_name.setdefault(span.name, []).append(span)
+    remaining = total_ns
+    component_ns = {}
+    for component, span_names in COMPONENT_SPANS:
+        raw = 0.0
+        for span_name in span_names:
+            for span in by_name.get(span_name, ()):
+                overlap = (min(span.end, window_end)
+                           - max(span.start, window_start))
+                if overlap > 0:
+                    raw += overlap
+        claimed = min(_ns(raw), remaining)
+        component_ns[component] = claimed
+        remaining -= claimed
+    return ProbeAttribution(record.probe_id, record.kind, total_ns,
+                            component_ns, remaining)
+
+
+def attribute_probes(collector, spans, metrics=None, kind="probe"):
+    """Decompose every completed probe of a collector.
+
+    ``spans`` is the cell's :class:`~repro.obs.spans.SpanTracker` (or
+    any iterable of spans).  With ``metrics`` given (an *enabled*
+    registry), each component lands in the ``probe_component_seconds``
+    histogram under a ``component`` label — one observation per probe
+    and component, residual included, so every component series has the
+    same count and the per-cell aggregate stays exactly summable.
+
+    Returns the list of :class:`ProbeAttribution` in probe-id order.
+    """
+    index = spans_by_probe(spans)
+    attributions = []
+    for record in collector.completed(kind):
+        attribution = attribute_record(record,
+                                       index.get(record.probe_id, ()))
+        if attribution is None:
+            continue
+        attributions.append(attribution)
+        if metrics is not None:
+            labels = {"kind": kind}
+            for component, seconds in attribution.components().items():
+                metrics.observe(  # obs: caller-guarded
+                    PROBE_COMPONENT_SECONDS, seconds,
+                    labels={"component": component, **labels})
+    return attributions

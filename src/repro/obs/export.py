@@ -28,13 +28,21 @@ def _fmt(value):
     return repr(value)
 
 
+def _escape_label_value(value):
+    """Escape a label value per the exposition format (version 0.0.4):
+    backslash, double-quote and newline are the only escapes."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_str(labels, extra=None):
     items = dict(labels)
     if extra:
         items.update(extra)
     if not items:
         return ""
-    body = ",".join(f'{key}="{items[key]}"' for key in sorted(items))
+    body = ",".join(f'{key}="{_escape_label_value(items[key])}"'
+                    for key in sorted(items))
     return "{" + body + "}"
 
 

@@ -1,4 +1,4 @@
-"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+"""Metrics registry: counters, gauges, and sketch-backed histograms.
 
 One :class:`MetricsRegistry` attaches to each
 :class:`~repro.sim.scheduler.Simulator` (``sim.metrics``).  It is
@@ -6,25 +6,30 @@ disabled by default so the hot path costs a single attribute check; call
 sites follow the established trace-guard idiom::
 
     if sim.metrics.enabled:
-        sim.metrics.inc("sdio_wakes_total", labels={"bus": self.name})
+        sim.metrics.inc(SDIO_WAKES_TOTAL, labels={"bus": self.name})
 
 Metrics are identified by ``(name, labels)``.  Three kinds exist:
 
 * :class:`Counter` — monotonically increasing value (``inc``),
 * :class:`Gauge` — point-in-time value (``set``),
-* :class:`Histogram` — fixed upper-bound buckets with a Prometheus-style
-  cumulative-``le`` export plus min/max/sum/count and interpolated
-  p50/p95/p99 estimates.
+* :class:`Histogram` — fixed upper-bound buckets (kept for the
+  Prometheus cumulative-``le`` export) plus an embedded
+  :class:`~repro.obs.sketch.DDSketch` that supplies the p50/p95/p99
+  estimates with a relative-error bound instead of bucket-grid
+  interpolation error.
 
-Fixed buckets make snapshots *mergeable*: campaign workers return
-per-cell snapshots and the parent folds them together bucket-by-bucket
-(:func:`merge_snapshots`), so a parallel sweep produces exactly the
-snapshot a serial one does.  Metrics whose values depend on wall-clock
-time (handler self-time) are flagged ``volatile`` and excluded from
-snapshots by default, keeping snapshots deterministic.
+Both layers make snapshots *mergeable*: campaign workers return
+per-cell snapshots and the parent folds them together — bucket counts
+and sketch bins sum exactly (:func:`merge_snapshots`) — so a parallel
+sweep produces bit-identically the snapshot a serial one does.  Metrics
+whose values depend on wall-clock time (handler self-time) are flagged
+``volatile`` and excluded from snapshots by default, keeping snapshots
+deterministic.
 """
 
 from bisect import bisect_left
+
+from repro.obs.sketch import DDSketch, DEFAULT_ALPHA, merge_payloads
 
 #: Default latency buckets (seconds).  Spans the sub-millisecond driver
 #: costs up to the multi-beacon PSM waits the paper measures; anything
@@ -115,20 +120,26 @@ def _bucket_percentile(bounds, counts, total, minimum, maximum, q):
 
 
 class Histogram:
-    """Fixed-bucket latency histogram.
+    """Latency histogram: fixed export buckets plus a quantile sketch.
 
     ``buckets`` are inclusive upper bounds in increasing order; one
     implicit +Inf bucket catches overflow.  Buckets are fixed at
-    creation so two histograms of the same metric merge exactly.
+    creation so two histograms of the same metric merge exactly; they
+    feed the Prometheus cumulative-``le`` export.  Every observation
+    additionally lands in a :class:`~repro.obs.sketch.DDSketch`, which
+    is what :meth:`percentile` reads — estimates carry the sketch's
+    relative-error bound (default 1%) independent of the bucket grid,
+    clamped to the observed ``[min, max]`` so degenerate distributions
+    (a single repeated value) report exactly.
     """
 
     kind = "histogram"
 
     __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
-                 "minimum", "maximum", "volatile")
+                 "minimum", "maximum", "volatile", "sketch")
 
     def __init__(self, name, labels=(), buckets=DEFAULT_LATENCY_BUCKETS,
-                 volatile=False):
+                 volatile=False, sketch_alpha=DEFAULT_ALPHA):
         bounds = tuple(buckets)
         if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError(f"histogram buckets must increase: {bounds!r}")
@@ -141,6 +152,7 @@ class Histogram:
         self.minimum = None
         self.maximum = None
         self.volatile = volatile
+        self.sketch = DDSketch(alpha=sketch_alpha)
 
     def observe(self, value):
         self.counts[bisect_left(self.buckets, value)] += 1
@@ -150,11 +162,18 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        self.sketch.add(value)
 
     def percentile(self, q):
-        """Estimated ``q``-th percentile (``None`` while empty)."""
-        return _bucket_percentile(self.buckets, self.counts, self.count,
-                                  self.minimum, self.maximum, q)
+        """Estimated ``q``-th percentile (``None`` while empty).
+
+        Sketch estimate clamped to the observed ``[min, max]``; within
+        relative error ``sketch.alpha`` of the exact sample quantile.
+        """
+        if not self.count:
+            return None
+        estimate = self.sketch.quantile(q / 100.0)
+        return min(max(estimate, self.minimum), self.maximum)
 
     @property
     def p50(self):
@@ -183,6 +202,7 @@ class Histogram:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "sketch": self.sketch.payload(),
         }
 
     def __repr__(self):
@@ -300,20 +320,37 @@ def _merge_entry(into, entry):
         for field, pick in (("min", min), ("max", max)):
             values = [v for v in (into[field], entry[field]) if v is not None]
             into[field] = pick(values) if values else None
-        for q in (50, 95, 99):
-            into[f"p{q}"] = _bucket_percentile(
-                tuple(into["buckets"]), into["counts"], into["count"],
-                into["min"], into["max"], q)
+        sketch_a, sketch_b = into.get("sketch"), entry.get("sketch")
+        if sketch_a is not None and sketch_b is not None:
+            merged = merge_payloads(sketch_a, sketch_b)
+            into["sketch"] = merged
+            sketch = DDSketch.from_payload(merged)
+            for q in (50, 95, 99):
+                estimate = sketch.quantile(q / 100.0)
+                if estimate is None:
+                    into[f"p{q}"] = None
+                else:
+                    into[f"p{q}"] = min(max(estimate, into["min"]),
+                                        into["max"])
+        else:
+            # Pre-sketch snapshots (older saved campaigns): fall back to
+            # the fixed-bucket interpolation they were built with.
+            into.pop("sketch", None)
+            for q in (50, 95, 99):
+                into[f"p{q}"] = _bucket_percentile(
+                    tuple(into["buckets"]), into["counts"], into["count"],
+                    into["min"], into["max"], q)
 
 
 def merge_snapshots(snapshots):
     """Fold :meth:`MetricsRegistry.snapshot` dicts into one.
 
-    Counters and histogram buckets sum; gauges keep the last value seen
-    (snapshots merge in the order given, which campaign code keeps in
-    grid order).  Histogram percentiles are recomputed from the merged
-    buckets, so the result is exactly what one registry observing all
-    the samples would report.
+    Counters, histogram buckets and sketch bins sum; gauges keep the
+    last value seen (snapshots merge in the order given, which campaign
+    code keeps in grid order).  Histogram percentiles are recomputed
+    from the merged sketch, so the result is exactly — bit-identically —
+    what one registry observing all the samples would report, for any
+    partition of the observations across snapshots.
     """
     merged = {}
     for snapshot in snapshots:
@@ -326,6 +363,13 @@ def merge_snapshots(snapshots):
                 if copied["kind"] == "histogram":
                     copied["buckets"] = list(copied["buckets"])
                     copied["counts"] = list(copied["counts"])
+                    sketch = copied.get("sketch")
+                    if sketch is not None:
+                        copied["sketch"] = {
+                            "alpha": sketch["alpha"],
+                            "zero": sketch["zero"],
+                            "bins": [list(pair) for pair in sketch["bins"]],
+                        }
                 copied["labels"] = dict(copied["labels"])
                 merged[key] = copied
     return {"metrics": [merged[key] for key in sorted(merged)]}

@@ -22,6 +22,17 @@ call sites::
 
 For intervals whose end is not known upfront, pair :meth:`SpanTracker.begin`
 with :meth:`SpanTracker.end` around the scheduled completion.
+
+Spans additionally carry a *probe context* for causal RTT attribution
+(docs/OBSERVABILITY.md): while a measurement probe is in flight the
+:class:`~repro.core.measurement.ProbeCollector` sets
+:meth:`SpanTracker.set_probe`, and every span recorded without an
+explicit ``probe_id`` field inherits the in-flight probe's id.  Spans
+recorded at layers that see the packet itself (channel airtime, netem
+wire delay, driver dpc queueing) pass ``probe_id=packet.probe_id``
+explicitly, which always wins over the context.  The per-probe span
+sets are what :mod:`repro.obs.attribution` folds into the paper's
+delay-decomposition components.
 """
 
 
@@ -60,7 +71,7 @@ class SpanTracker:
     """Collects :class:`Span` objects and fans them out to trace/metrics."""
 
     __slots__ = ("enabled", "metrics", "trace", "spans", "limit", "dropped",
-                 "_open", "_next_token")
+                 "probe_context", "_open", "_next_token")
 
     def __init__(self, metrics=None, trace=None, enabled=False,
                  limit=200_000):
@@ -70,13 +81,38 @@ class SpanTracker:
         self.spans = []
         self.limit = limit
         self.dropped = 0
+        #: The in-flight probe id spans inherit (see :meth:`set_probe`).
+        self.probe_context = None
         self._open = {}
         self._next_token = 1
+
+    # -- probe context ----------------------------------------------------
+
+    def set_probe(self, probe_id):
+        """Attribute subsequently recorded spans to ``probe_id``.
+
+        Spans recorded with an explicit ``probe_id`` field keep it; the
+        context only fills the gap for layers that cannot see the
+        packet (SDIO wake, PSM beacon wait).
+        """
+        self.probe_context = probe_id
+
+    def clear_probe(self, probe_id=None):
+        """Drop the probe context.
+
+        With ``probe_id`` given, clears only if that probe still owns
+        the context — a completing probe must not clear a successor's
+        context when transactions overlap (10 ms-interval pings).
+        """
+        if probe_id is None or self.probe_context == probe_id:
+            self.probe_context = None
 
     # -- recording --------------------------------------------------------
 
     def record(self, name, start, end, **fields):
         """Store one completed interval; returns the :class:`Span`."""
+        if self.probe_context is not None and "probe_id" not in fields:
+            fields["probe_id"] = self.probe_context
         span = Span(name, start, end, fields)
         if self.limit is not None and len(self.spans) >= self.limit:
             self.dropped += 1
@@ -121,6 +157,11 @@ class SpanTracker:
     def by_name(self, name):
         return [span for span in self.spans if span.name == name]
 
+    def by_probe(self, probe_id):
+        """Spans attributed (explicitly or by context) to one probe."""
+        return [span for span in self.spans
+                if span.fields.get("probe_id") == probe_id]
+
     def names(self):
         return sorted({span.name for span in self.spans})
 
@@ -128,6 +169,7 @@ class SpanTracker:
         self.spans.clear()
         self._open.clear()
         self.dropped = 0
+        self.probe_context = None
 
     def __iter__(self):
         return iter(self.spans)

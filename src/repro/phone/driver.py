@@ -22,6 +22,16 @@ matter of reading ``driver.samples``.
 
 from collections import deque
 
+from repro.obs.names import (
+    DRIVER_DVRECV_SECONDS,
+    DRIVER_DVSEND_SECONDS,
+    SDIO_SLEEPS_TOTAL,
+    SDIO_WAKES_TOTAL,
+    SPAN_DRIVER_QUEUEING,
+    SPAN_SDIO_ASLEEP,
+    SPAN_SDIO_PROMOTION,
+)
+
 BUS_AWAKE = "AWAKE"
 BUS_ASLEEP = "ASLEEP"
 
@@ -85,7 +95,7 @@ class SdioBus:
             # the toggle as an immediate wake.
             self._transition(BUS_AWAKE)
             if self.sim.spans.enabled and self._slept_at is not None:
-                self.sim.spans.record("sdio.asleep", self._slept_at,
+                self.sim.spans.record(SPAN_SDIO_ASLEEP, self._slept_at,
                                       self.sim.now, bus=self.name)
             self._slept_at = None
 
@@ -108,14 +118,14 @@ class SdioBus:
         delay = self.chipset.wake_delay.draw(self.rng)
         sim = self.sim
         if sim.metrics.enabled:
-            sim.metrics.inc("sdio_wakes_total", labels={"bus": self.name})
+            sim.metrics.inc(SDIO_WAKES_TOTAL, labels={"bus": self.name})
         if sim.spans.enabled:
             # The asleep period just ending, then the promotion it costs.
             if self._slept_at is not None:
-                sim.spans.record("sdio.asleep", self._slept_at, sim.now,
+                sim.spans.record(SPAN_SDIO_ASLEEP, self._slept_at, sim.now,
                                  bus=self.name)
                 self._slept_at = None
-            sim.spans.record("sdio.promotion", sim.now, sim.now + delay,
+            sim.spans.record(SPAN_SDIO_PROMOTION, sim.now, sim.now + delay,
                              bus=self.name)
         return delay
 
@@ -134,7 +144,7 @@ class SdioBus:
             self.sleep_count += 1
             self._slept_at = self.sim.now
             if self.sim.metrics.enabled:
-                self.sim.metrics.inc("sdio_sleeps_total",
+                self.sim.metrics.inc(SDIO_SLEEPS_TOTAL,
                                      labels={"bus": self.name})
             if self.sim.trace.enabled:
                 self.sim.trace.record(self.sim.now, "sdio", "bus sleep",
@@ -201,6 +211,13 @@ class WnicDriver:
             return
         self._dpc_busy = True
         kind, packet, entry_time = self._dpc_queue.popleft()
+        sim = self.sim
+        if sim.spans.enabled and sim.now > entry_time:
+            # Time the task sat behind the busy dpc thread — the
+            # paper's driver-queueing delay component.
+            sim.spans.record(SPAN_DRIVER_QUEUEING, entry_time, sim.now,
+                             queue=f"dpc:{self.name}", direction=kind,
+                             probe_id=packet.probe_id)
         wake = self.bus.wake_delay()
         cost = (
             self.chipset.tx_cost if kind == "tx" else self.chipset.rx_cost
@@ -220,8 +237,8 @@ class WnicDriver:
         ))
         if self.sim.metrics.enabled:
             self.sim.metrics.observe(
-                "driver_dvsend_seconds" if kind == "tx"
-                else "driver_dvrecv_seconds", duration)
+                DRIVER_DVSEND_SECONDS if kind == "tx"
+                else DRIVER_DVRECV_SECONDS, duration)
         if kind == "tx":
             self.packets_tx += 1
             self.tx_complete(packet)

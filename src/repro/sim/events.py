@@ -14,6 +14,8 @@ an O(1) live-event count under lazy heap deletion.
 
 import itertools
 
+from repro.obs.names import SCHEDULER_EVENTS_CANCELED_TOTAL
+
 _SEQ = itertools.count()
 
 
@@ -60,7 +62,7 @@ class Event:
             owner.events_canceled += 1
             if owner.metrics.enabled:
                 owner.metrics.inc(
-                    "scheduler_events_canceled_total",
+                    SCHEDULER_EVENTS_CANCELED_TOTAL,
                     labels={"category": self.label.partition(":")[0]
                             or "event"})
 

@@ -65,6 +65,14 @@ import math
 import time
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import (
+    SCHEDULER_EVENTS_FIRED_TOTAL,
+    SCHEDULER_HANDLER_SELF_SECONDS_TOTAL,
+    SCHEDULER_WHEEL_ACTIVATIONS_TOTAL,
+    SCHEDULER_WHEEL_DEPTH,
+    SCHEDULER_WHEEL_FAST_FORWARDS_TOTAL,
+    SCHEDULER_WHEEL_OVERFLOW_PULLS_TOTAL,
+)
 from repro.obs.spans import SpanTracker
 from repro.sim.errors import SchedulerError, SimTimeError
 from repro.sim.events import _SEQ, Event, PeriodicEvent
@@ -345,15 +353,15 @@ class Simulator:
                 self._wheel_active = bucket
         metrics = self.metrics
         if metrics.enabled:
-            metrics.inc("scheduler_wheel_activations_total")
-            metrics.set_gauge("scheduler_wheel_depth",
+            metrics.inc(SCHEDULER_WHEEL_ACTIVATIONS_TOTAL)
+            metrics.set_gauge(SCHEDULER_WHEEL_DEPTH,
                               len(self._wheel_active))
             if pulls:
                 metrics.counter(
-                    "scheduler_wheel_overflow_pulls_total").inc(pulls)
+                    SCHEDULER_WHEEL_OVERFLOW_PULLS_TOTAL).inc(pulls)
             if fast_forward:
                 metrics.inc(  # obs: caller-guarded
-                    "scheduler_wheel_fast_forwards_total")
+                    SCHEDULER_WHEEL_FAST_FORWARDS_TOTAL)
         return True
 
     def _competitor_floor(self):
@@ -451,9 +459,9 @@ class Simulator:
         start = time.perf_counter()  # lint: disable=RL101 (volatile self-time)
         event.fire()
         elapsed = time.perf_counter() - start  # lint: disable=RL101 (volatile self-time)
-        metrics.inc("scheduler_events_fired_total",  # obs: caller-guarded
+        metrics.inc(SCHEDULER_EVENTS_FIRED_TOTAL,  # obs: caller-guarded
                     labels={"category": category})
-        metrics.counter("scheduler_handler_self_seconds_total",  # obs: caller-guarded
+        metrics.counter(SCHEDULER_HANDLER_SELF_SECONDS_TOTAL,  # obs: caller-guarded
                         labels={"category": category},
                         volatile=True).inc(elapsed)
 

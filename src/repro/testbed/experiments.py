@@ -11,7 +11,7 @@ ergonomics and historical signatures.
 
 from repro.core.acutemon import AcuteMon
 from repro.core.overhead import decompose
-from repro.obs import finalize_sim_metrics
+from repro.obs import attribute_probes, finalize_sim_metrics
 from repro.testbed.scenario import ScenarioSpec, run_scenario
 
 
@@ -28,6 +28,16 @@ class ExperimentResult:
         self.tool = None
         self.spec = None
         self.acutemon = None
+        # Causal delay decomposition (docs/OBSERVABILITY.md): in observed
+        # cells, split each probe's RTT into mechanism components from
+        # the recorded spans and aggregate them into the metrics
+        # registry, where they ride the ordinary snapshot/merge pipeline.
+        sim = testbed.sim
+        self.attributions = []
+        if sim.spans.enabled:
+            self.attributions = attribute_probes(
+                collector, sim.spans,
+                metrics=sim.metrics if sim.metrics.enabled else None)
 
     @property
     def user_rtts(self):

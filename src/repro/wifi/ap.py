@@ -14,6 +14,11 @@ Combines three roles from the testbed's NETGEAR WNDR3800:
 """
 
 from repro.net.router import RouterPort
+from repro.obs.names import (
+    AP_PS_BUFFER_DROPS_TOTAL,
+    AP_PS_FRAMES_BUFFERED_TOTAL,
+    SPAN_PSM_BUFFERED,
+)
 from repro.sim.units import tu
 from repro.wifi.channel import Radio
 from repro.wifi.frames import BeaconFrame, DataFrame, NullDataFrame, PsPollFrame
@@ -156,13 +161,13 @@ class AccessPoint:
         if len(record.buffer) >= self.PS_BUFFER_LIMIT:
             record.buffered_drops += 1
             if sim.metrics.enabled:
-                sim.metrics.inc("ap_ps_buffer_drops_total",
+                sim.metrics.inc(AP_PS_BUFFER_DROPS_TOTAL,
                                 labels={"ap": self.name})
             return
         self.frames_buffered += 1
         record.buffer.append(frame)
         if sim.metrics.enabled:
-            sim.metrics.inc("ap_ps_frames_buffered_total",
+            sim.metrics.inc(AP_PS_FRAMES_BUFFERED_TOTAL,
                             labels={"ap": self.name})
         if sim.spans.enabled:
             self._buffered_at[id(frame)] = sim.now
@@ -175,7 +180,7 @@ class AccessPoint:
         """Span bookkeeping for one frame leaving the PS buffer."""
         start = self._buffered_at.pop(id(frame), None)
         if start is not None and self.sim.spans.enabled:
-            self.sim.spans.record("psm.buffered", start, self.sim.now,
+            self.sim.spans.record(SPAN_PSM_BUFFERED, start, self.sim.now,
                                   ap=self.name, aid=record.aid)
 
     def _flush_buffer(self, record):

@@ -23,6 +23,7 @@ wireless sniffers.
 """
 
 from repro.net.queues import DropTailQueue
+from repro.obs.names import SPAN_WLAN_AIRTIME
 from repro.wifi.frames import BeaconFrame, DataFrame
 from repro.wifi.phy import PhyParams
 
@@ -213,6 +214,11 @@ class WifiChannel:
         self.stats.busy_time += busy
         if isinstance(frame, DataFrame):
             frame.packet.stamp("phy", tx_start)
+            sim = self.sim
+            if sim.spans.enabled and frame.packet.probe_id is not None:
+                sim.spans.record(SPAN_WLAN_AIRTIME, tx_start, tx_end,
+                                 probe_id=frame.packet.probe_id,
+                                 bytes=frame.wire_size)
         for monitor in self._monitors:
             monitor(frame, tx_start, tx_end, "ok")
         self.sim.at(tx_end, self._deliver, contender, tx_start,

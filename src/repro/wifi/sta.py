@@ -24,6 +24,11 @@ polling.  ``timeout_jitter`` models that: each re-arm draws
 ``Tip + U(-jitter, +jitter)``.
 """
 
+from repro.obs.names import (
+    PSM_TRANSITIONS_TOTAL,
+    SPAN_PSM_BEACON_WAIT,
+    SPAN_PSM_DOZE,
+)
 from repro.sim.timers import Timer
 from repro.sim.units import tu
 from repro.wifi.channel import Radio
@@ -254,7 +259,7 @@ class Station(Radio):
         self.state_transitions.append((self.sim.now, old, new_state, reason))
         sim = self.sim
         if sim.metrics.enabled:
-            sim.metrics.inc("psm_transitions_total",
+            sim.metrics.inc(PSM_TRANSITIONS_TOTAL,
                             labels={"sta": self.name, "to": new_state,
                                     "reason": reason})
         if sim.trace.enabled:
@@ -264,7 +269,7 @@ class Station(Radio):
             self._doze_started = sim.now
         elif self._doze_started is not None:
             if sim.spans.enabled:
-                sim.spans.record("psm.doze", self._doze_started, sim.now,
+                sim.spans.record(SPAN_PSM_DOZE, self._doze_started, sim.now,
                                  sta=self.name, reason=reason)
             self._doze_started = None
         if self.on_state_change is not None:
@@ -326,7 +331,8 @@ class Station(Radio):
         self._listening_for_beacon = False
         if self.sim.spans.enabled and self._beacon_wait_start is not None:
             self.sim.spans.record(
-                "psm.beacon_wait", self._beacon_wait_start, self.sim.now,
+                SPAN_PSM_BEACON_WAIT, self._beacon_wait_start,
+                self.sim.now,
                 sta=self.name, tim=self.aid in beacon.tim_aids)
         self._beacon_wait_start = None
         if self.aid in beacon.tim_aids:

@@ -211,7 +211,7 @@ class TestCommands:
         doc = json.loads(capsys.readouterr().out)
         assert {row["rule"] for row in doc["findings"]} == {
             "RL001", "RL002", "RL101", "RL102", "RL103", "RL104",
-            "RL105", "RL201", "RL202", "RL203",
+            "RL105", "RL106", "RL201", "RL202", "RL203",
         }
 
     def test_lint_update_baseline_round_trip(self, capsys, tmp_path):
@@ -222,7 +222,7 @@ class TestCommands:
         assert main(["lint", str(FIXTURE), "--baseline",
                      str(baseline)]) == 0
         out = capsys.readouterr().out
-        assert "lint clean" in out and "16 baselined" in out
+        assert "lint clean" in out and "17 baselined" in out
 
     def test_lint_update_baseline_requires_path(self, capsys):
         assert main(["lint", str(FIXTURE), "--update-baseline"]) == 2

@@ -1,0 +1,211 @@
+"""Causal delay decomposition: per-probe attribution and campaign reports.
+
+Pins the PR's acceptance properties:
+
+* per-probe attribution sums **exactly** to the measured user RTT on
+  the integer-nanosecond grid, with an explicit, never-negative
+  ``unattributed`` residual;
+* the campaign decomposition report is bit-identical across serial,
+  parallel, and crash+resume runs;
+* the ``repro report`` / ``campaign --report-out`` surfaces work.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.decompose import (
+    decompose_campaign,
+    decompose_snapshot,
+    render_report,
+    write_report,
+)
+from repro.cli import main
+from repro.core.measurement import ProbeRecord
+from repro.obs.attribution import (
+    COMPONENTS,
+    RESIDUAL,
+    attribute_record,
+    spans_by_probe,
+)
+from repro.obs.names import SPAN_SDIO_PROMOTION, SPAN_WIRE_NETEM
+from repro.obs.spans import SpanTracker
+from repro.testbed.campaign import Campaign
+from repro.testbed.experiments import ping_experiment, tool_experiment
+
+
+def _record(probe_id, send, recv):
+    record = ProbeRecord(probe_id)
+    record.user_send = send
+    record.user_recv = recv
+    return record
+
+
+class TestAttributeRecord:
+    def test_exact_sum_identity_and_clipping(self):
+        spans = SpanTracker(enabled=True)
+        # Ambient span bracketing the window: only the overlap counts.
+        spans.record(SPAN_SDIO_PROMOTION, 0.9, 1.2, probe_id=7)
+        spans.record(SPAN_WIRE_NETEM, 1.2, 1.23, probe_id=7)
+        record = _record(7, 1.0, 1.25)
+        attribution = attribute_record(record, spans_by_probe(spans)[7])
+        assert attribution.total_ns == 250_000_000
+        assert attribution.component_ns["sdio.promotion"] == 200_000_000
+        assert attribution.component_ns["wire"] == 30_000_000
+        assert attribution.residual_ns == 20_000_000
+        assert (sum(attribution.component_ns.values())
+                + attribution.residual_ns) == attribution.total_ns
+
+    def test_overclaiming_spans_clamped_to_budget(self):
+        spans = SpanTracker(enabled=True)
+        # Overlapping mechanisms that together exceed the window: the
+        # later component is clamped, residual stays at zero, never
+        # negative.
+        spans.record(SPAN_SDIO_PROMOTION, 1.0, 1.2, probe_id=1)
+        spans.record(SPAN_WIRE_NETEM, 1.0, 1.2, probe_id=1)
+        attribution = attribute_record(_record(1, 1.0, 1.2),
+                                       spans_by_probe(spans)[1])
+        assert attribution.component_ns["sdio.promotion"] == 200_000_000
+        assert attribution.component_ns["wire"] == 0
+        assert attribution.residual_ns == 0
+
+    def test_incomplete_record_skipped(self):
+        record = ProbeRecord(3)
+        record.user_send = 1.0  # never answered
+        assert attribute_record(record, []) is None
+
+    def test_components_dict_covers_declared_order(self):
+        attribution = attribute_record(_record(1, 0.0, 0.1), [])
+        components = attribution.components()
+        assert tuple(components) == COMPONENTS
+        assert components[RESIDUAL] == pytest.approx(0.1)
+
+
+class TestExperimentAttribution:
+    def test_ping_attributions_sum_exactly(self):
+        result = ping_experiment(count=8, observe=True)
+        assert len(result.attributions) == 8
+        for attribution in result.attributions:
+            assert attribution.residual_ns >= 0
+            assert (sum(attribution.component_ns.values())
+                    + attribution.residual_ns) == attribution.total_ns
+        # 1s-interval ping on a sleeping bus: promotion inflation shows.
+        assert any(a.component_ns["sdio.promotion"] > 0
+                   for a in result.attributions)
+        assert all(a.component_ns["wire"] > 0
+                   for a in result.attributions)
+
+    def test_httping_attributions_sum_exactly(self):
+        result = tool_experiment("httping", count=6, observe=True)
+        assert result.attributions
+        for attribution in result.attributions:
+            assert attribution.residual_ns >= 0
+            assert (sum(attribution.component_ns.values())
+                    + attribution.residual_ns) == attribution.total_ns
+
+    def test_unobserved_cell_has_no_attributions(self):
+        result = ping_experiment(count=2, observe=False)
+        assert result.attributions == []
+
+    def test_snapshot_series_counts_match(self):
+        result = ping_experiment(count=5, observe=True)
+        slice_ = decompose_snapshot(result.metrics_snapshot())
+        assert slice_.probes == 5
+        for stats in slice_.components:
+            assert stats.count == 5  # residual included, same count
+        shares = [stats.share for stats in slice_.components]
+        assert sum(shares) == pytest.approx(1.0)
+
+
+def _campaign():
+    return Campaign(phones=("nexus5",), rtts=(0.02,),
+                    tools=("ping", "acutemon"), count=4, base_seed=3)
+
+
+class TestCampaignReport:
+    def test_decompose_requires_metrics(self):
+        campaign = _campaign()
+        campaign.run()
+        assert decompose_campaign(campaign) is None
+
+    def test_report_shape_and_dominant(self):
+        campaign = _campaign()
+        campaign.run(collect_metrics=True)
+        report = decompose_campaign(campaign)
+        assert len(report.slices) == 2
+        assert report.overall is not None
+        for slice_ in report.slices + [report.overall]:
+            assert slice_.dominant in COMPONENTS
+            assert [stats.name for stats in slice_.components] \
+                == list(COMPONENTS)
+        # At 20ms wire RTT the wired path dominates every cell.
+        assert report.overall.dominant == "wire"
+
+    def test_bit_identical_serial_parallel_resume(self, tmp_path):
+        serial = _campaign()
+        serial.run(collect_metrics=True)
+        parallel = _campaign()
+        parallel.run(collect_metrics=True, workers=2)
+        journal = tmp_path / "cells.jsonl"
+        interrupted = _campaign()
+        interrupted.run(collect_metrics=True, checkpoint=str(journal))
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        journal.write_text("\n".join(lines[:1]) + "\n", encoding="utf-8")
+        resumed = _campaign()
+        resumed.run(collect_metrics=True, checkpoint=str(journal),
+                    resume=True)
+        texts = {}
+        for label, campaign in (("serial", serial), ("parallel", parallel),
+                                ("resumed", resumed)):
+            report = decompose_campaign(campaign)
+            texts[label] = {fmt: render_report(report, fmt)
+                            for fmt in ("text", "json", "prom")}
+        assert texts["serial"] == texts["parallel"] == texts["resumed"]
+
+    def test_write_report_formats_by_suffix(self, tmp_path):
+        campaign = _campaign()
+        campaign.run(collect_metrics=True)
+        report = decompose_campaign(campaign)
+        assert write_report(tmp_path / "r.json", report) == "json"
+        assert write_report(tmp_path / "r.prom", report) == "prom"
+        assert write_report(tmp_path / "r.txt", report) == "text"
+        doc = json.loads((tmp_path / "r.json").read_text(encoding="utf-8"))
+        assert len(doc["slices"]) == 2
+        assert doc["overall"]["dominant"] == "wire"
+        prom = (tmp_path / "r.prom").read_text(encoding="utf-8")
+        assert "# TYPE decomposition_component_seconds_total gauge" in prom
+        assert 'component="unattributed"' in prom
+
+
+class TestReportCli:
+    def test_campaign_report_out_then_report_command(self, tmp_path,
+                                                     capsys):
+        campaign_path = tmp_path / "campaign.json"
+        report_path = tmp_path / "report.txt"
+        assert main(["--count", "4", "campaign", "--rtts", "20",
+                     "--tools", "ping", "--out", str(campaign_path),
+                     "--report-out", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote decomposition report (text)" in out
+        direct = report_path.read_text(encoding="utf-8")
+        assert "Delay decomposition" in direct
+        assert "Dominant" in direct
+
+        assert main(["report", str(campaign_path)]) == 0
+        assert capsys.readouterr().out == direct
+
+        json_path = tmp_path / "report.json"
+        assert main(["report", str(campaign_path), "--format", "json",
+                     "--out", str(json_path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(json_path.read_text(encoding="utf-8"))
+        assert doc["overall"]["dominant"] == "wire"
+
+    def test_report_errors_without_metrics(self, tmp_path, capsys):
+        campaign_path = tmp_path / "campaign.json"
+        assert main(["--count", "2", "campaign", "--rtts", "20",
+                     "--tools", "ping", "--out",
+                     str(campaign_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(campaign_path)]) == 1
+        assert "no decomposition data" in capsys.readouterr().out

@@ -26,6 +26,7 @@ FIXTURE_EXPECTED = [
     (10, "RL102"),  # from random import randint
     (13, "RL201"),  # values=[] mutable default
     (14, "RL001"),  # unguarded metrics.inc
+    (14, "RL106"),  # inline metric-name literal
     (15, "RL101"),  # time.time()
     (16, "RL102"),  # random.random()
     (17, "RL103"),  # schedule(-0.5, ...)
@@ -207,8 +208,8 @@ class TestRegistryAndScoping:
 
     def test_builtin_rule_ids(self):
         assert set(RULES) == {"RL001", "RL002", "RL101", "RL102",
-                              "RL103", "RL104", "RL105", "RL201",
-                              "RL202", "RL203", "RL301"}
+                              "RL103", "RL104", "RL105", "RL106",
+                              "RL201", "RL202", "RL203", "RL301"}
 
     def test_logical_parts_anchor_on_repro(self):
         assert logical_parts("/x/src/repro/sim/rng.py") == ("sim", "rng.py")

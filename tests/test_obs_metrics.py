@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs import (
     DEFAULT_LATENCY_BUCKETS,
@@ -89,6 +91,80 @@ class TestHistogram:
         assert any(0.1 <= b <= 0.15 for b in DEFAULT_LATENCY_BUCKETS)
 
 
+class TestHistogramEdgeCases:
+    """The audited corners: empty, single-observation, all-overflow."""
+
+    def test_empty_every_stat_is_none_not_nan(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(0.01, 0.1))
+        for stat in (hist.p50, hist.p95, hist.p99, hist.mean,
+                     hist.minimum, hist.maximum):
+            assert stat is None
+
+    def test_empty_snapshot_and_prometheus_render(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.01, 0.1))
+        (entry,) = registry.snapshot()["metrics"]
+        assert entry["count"] == 0 and entry["p50"] is None
+        text = to_prometheus(registry.snapshot())
+        assert 'lat_count 0' in text  # no division, no crash
+
+    def test_single_observation_all_percentiles_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.01, 0.1))
+        hist.observe(0.042)
+        for q in (0, 25, 50, 95, 99, 100):
+            assert hist.percentile(q) == pytest.approx(0.042)
+        assert hist.mean == pytest.approx(0.042)
+
+    def test_all_observations_in_overflow_bucket(self):
+        # Every value beyond the last finite bound: the legacy
+        # fixed-bucket math had no upper edge to interpolate against;
+        # the sketch answers within its relative-error bound and the
+        # clamp keeps estimates inside [min, max].
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.001, 0.01))
+        for value in (0.5, 1.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.counts == [0, 0, 4]
+        assert 0.5 <= hist.p50 <= 4.0
+        assert hist.p50 == pytest.approx(1.0, rel=0.01)
+        assert hist.p99 == pytest.approx(4.0, rel=0.01)
+
+    def test_merged_overflow_only_snapshots(self):
+        registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+        registry_a.observe("h", 5.0, buckets=(0.01,))
+        registry_b.observe("h", 7.0, buckets=(0.01,))
+        merged = merge_snapshots([registry_a.snapshot(),
+                                  registry_b.snapshot()])
+        (entry,) = merged["metrics"]
+        assert entry["count"] == 2
+        assert 5.0 <= entry["p50"] <= 7.0
+
+    def test_snapshot_carries_sketch_payload(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.02, buckets=(0.01, 0.1))
+        (entry,) = registry.snapshot()["metrics"]
+        sketch = entry["sketch"]
+        assert sketch["bins"] and isinstance(sketch["bins"][0][1], int)
+        json.dumps(entry)  # wire-format safe
+
+    def test_merge_without_sketch_falls_back_to_buckets(self):
+        # Pre-sketch snapshots (an old checkpoint journal) still merge;
+        # percentiles come from the bucket interpolation fallback.
+        registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+        registry_a.observe("h", 0.005, buckets=(0.01, 0.1))
+        registry_b.observe("h", 0.05, buckets=(0.01, 0.1))
+        snaps = [registry_a.snapshot(), registry_b.snapshot()]
+        for snap in snaps:
+            for entry in snap["metrics"]:
+                del entry["sketch"]
+        merged = merge_snapshots(snaps)
+        (entry,) = merged["metrics"]
+        assert entry["count"] == 2
+        assert "sketch" not in entry
+        assert 0.0 <= entry["p50"] <= 0.1
+
+
 class TestSnapshotAndMerge:
     def build(self):
         registry = MetricsRegistry()
@@ -148,6 +224,58 @@ class TestSnapshotAndMerge:
         registry.clear()
         assert len(registry) == 0
         assert registry.snapshot() == {"metrics": []}
+
+
+def _shard_registry(observations):
+    """One registry holding a mixed counter/gauge/histogram population."""
+    registry = MetricsRegistry()
+    for value in observations:
+        registry.inc("probes_total")
+        registry.inc("bytes_total", int(value * 1e6), labels={"dir": "up"})
+        registry.set_gauge("clock", value)
+        registry.observe("lat_seconds", value, buckets=(0.01, 0.1))
+        registry.observe("lat_seconds", value * 2,
+                         labels={"leg": "wire"}, buckets=(0.01, 0.1))
+    return registry
+
+
+class TestMixedKindMergeProperty:
+    """merge(shards) == merge(whole) for any partition of the stream."""
+
+    @given(samples=st.lists(
+        st.floats(min_value=1e-4, max_value=0.5,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=40), data=st.data())
+    def test_any_partition_merges_to_the_whole(self, samples, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(samples)))
+        whole = merge_snapshots([_shard_registry(samples).snapshot()])
+        shards = [_shard_registry(shard).snapshot()
+                  for shard in (samples[:cut], samples[cut:]) if shard]
+        merged = merge_snapshots(shards)
+        # Gauges are last-wins, so shard order matters for them alone;
+        # the final shard ends on the same observation as the whole.
+        # Everything integer-state — counter values, bucket counts,
+        # sketch bins, and the percentiles recomputed from them — is
+        # EXACTLY partition-independent; the float ``sum`` accumulator
+        # alone depends on addition order (to ~1 ulp).
+        by_key = {(e["name"], tuple(sorted(e["labels"].items()))): e
+                  for e in whole["metrics"]}
+        assert len(merged["metrics"]) == len(by_key)
+        for entry in merged["metrics"]:
+            expected = by_key[(entry["name"],
+                               tuple(sorted(entry["labels"].items())))]
+            for field, value in expected.items():
+                if field == "sum":
+                    assert entry["sum"] == pytest.approx(value, rel=1e-12)
+                else:
+                    assert entry[field] == value, field
+
+    def test_mixed_kinds_survive_one_round_trip(self):
+        snapshot = _shard_registry([0.02, 0.2]).snapshot()
+        merged = merge_snapshots(
+            [json.loads(json.dumps(snapshot))])
+        assert json.dumps(merged, sort_keys=True) \
+            == json.dumps(merge_snapshots([snapshot]), sort_keys=True)
 
 
 class TestSpanTracker:
@@ -211,6 +339,23 @@ class TestExporters:
         assert 'h_seconds_bucket{le="0.1"} 1' in text
         assert 'h_seconds_bucket{le="+Inf"} 2' in text
         assert 'h_seconds_count 2' in text
+
+    def test_label_values_escaped_golden(self):
+        # Exposition format 0.0.4: backslash, double-quote and newline
+        # are escaped in label values — nothing else is.
+        registry = MetricsRegistry()
+        registry.inc("odd_total", labels={
+            "path": 'C:\\tmp\\"probe"\nnext',
+            "plain": "ok-1.2/3",
+        })
+        text = to_prometheus(registry.snapshot())
+        assert text == (
+            '# TYPE odd_total counter\n'
+            'odd_total{path="C:\\\\tmp\\\\\\"probe\\"\\nnext",'
+            'plain="ok-1.2/3"} 1\n'
+        )
+        # Every line stays a single exposition line.
+        assert len(text.splitlines()) == 2
 
     def test_jsonl_one_object_per_metric(self):
         lines = to_jsonl(self.snapshot()).strip().splitlines()

@@ -47,6 +47,8 @@ _TRAIN_EVENTS = 200_000 + 1_999
 _CHAIN_EVENTS = 100_000
 _WIRE_ROUND_TRIPS = 3_000
 _CAMPAIGN_CELLS = 2
+_SKETCH_OBSERVATIONS = 50_000
+_DECOMPOSITION_CELLS = 2
 
 # Same-shape workloads run against the growth-seed commit on the
 # reference container (1 CPU, CPython 3.11) — the denominator of the
@@ -57,6 +59,10 @@ _CAMPAIGN_CELLS = 2
 _SEED_BASELINE = {
     "scheduler_events_per_sec": 644_621.0,
     "wire_round_trips_per_sec": 34_739.0,
+    # First recorded on PR 7 (the subsystem's birth), at ~1/3 of the
+    # measured rate on the reference container so the >10% gate tracks
+    # real regressions rather than machine noise.
+    "decomposition_cells_per_sec": 8.0,
 }
 
 _rates = {}
@@ -246,6 +252,83 @@ def test_smoke_obs_disabled_overhead():
     assert overhead <= 3.0
 
 
+class _NullSketch:
+    """Drop-in that skips sketch maintenance — the yardstick for the
+    sketch-observe overhead gate below."""
+
+    def add(self, value, count=1):
+        pass
+
+
+@pytest.mark.perf_smoke
+def test_smoke_sketch_observe_overhead():
+    """The quantile sketch must stay a modest share of observe() cost.
+
+    ``Histogram.observe`` pays one ``DDSketch.add`` (a ``log`` plus one
+    dict update) on top of the bucket scan and min/max/sum bookkeeping.
+    Best-of-3 A/B of the same histogram with the sketch swapped for a
+    no-op: currently ~50% (the log costs about as much as the bisect
+    and stats updates combined); the 60% gate trips if sketch
+    maintenance grows real work (a rebalancing pass, per-add
+    allocation), which would erode the "enable metrics freely" story
+    of docs/OBSERVABILITY.md.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    values = [1e-4 * (1 + (index % 997)) for index in range(1000)]
+
+    def workload(null_sketch):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("perf_seconds")
+        if null_sketch:
+            hist.sketch = _NullSketch()
+
+        def run():
+            observe = hist.observe
+            for _ in range(_SKETCH_OBSERVATIONS // len(values)):
+                for value in values:
+                    observe(value)
+
+        return run
+
+    with_rate = without_rate = 0.0
+    for _ in range(3):
+        without_rate = max(without_rate,
+                           _rate(_SKETCH_OBSERVATIONS, workload(True)))
+        with_rate = max(with_rate,
+                        _rate(_SKETCH_OBSERVATIONS, workload(False)))
+    overhead = max(0.0, (without_rate - with_rate) / without_rate * 100.0)
+    _rates["sketch_observe_overhead_pct"] = overhead
+    assert overhead <= 60.0
+
+
+@pytest.mark.perf_smoke
+def test_smoke_decomposition_rate():
+    """End-to-end decomposition: observed cells -> attribution ->
+    merged snapshots -> rendered report.
+
+    The trajectory metric (gated against ``seed_baseline`` by
+    ``scripts/bench_compare.py``) covers the whole new pipeline: cells
+    run with spans+metrics on, per-probe attribution lands in the
+    ``probe_component_seconds`` series, and the campaign report renders
+    in all three formats.
+    """
+    from repro.analysis.decompose import decompose_campaign, render_report
+
+    campaign = Campaign(phones=("nexus5",), rtts=(0.02,),
+                        tools=("ping", "acutemon"), count=3)
+
+    def run():
+        campaign.run(workers=1, collect_metrics=True)
+        report = decompose_campaign(campaign)
+        assert len(report.slices) == _DECOMPOSITION_CELLS
+        for fmt in ("text", "json", "prom"):
+            assert render_report(report, fmt)
+
+    _rates["decomposition_cells_per_sec"] = _rate(_DECOMPOSITION_CELLS, run)
+    assert _rates["decomposition_cells_per_sec"] > 1
+
+
 @pytest.mark.perf_smoke
 def test_smoke_checkpoint_overhead(tmp_path):
     """Journaling cells must not meaningfully slow a campaign down.
@@ -318,8 +401,10 @@ def test_smoke_emits_bench_json():
                            "scheduler_chain_events_per_sec",
                            "wire_round_trips_per_sec",
                            "campaign_cells_per_sec",
+                           "decomposition_cells_per_sec",
                            "scenario_build_overhead_pct",
                            "obs_disabled_overhead_pct",
+                           "sketch_observe_overhead_pct",
                            "checkpoint_overhead_pct",
                            "lint_full_repo_seconds"}
     payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
@@ -329,6 +414,8 @@ def test_smoke_emits_bench_json():
         "scheduler_chain_events": _CHAIN_EVENTS,
         "wire_round_trips": _WIRE_ROUND_TRIPS,
         "campaign_cells": _CAMPAIGN_CELLS,
+        "decomposition_cells": _DECOMPOSITION_CELLS,
+        "sketch_observations": _SKETCH_OBSERVATIONS,
     }
     _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
                            encoding="utf-8")
