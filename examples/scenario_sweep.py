@@ -7,7 +7,10 @@ the same tool on the same emulated path answers differently depending
 on the radio access network in front of it (802.11 PSM/bus-sleep vs
 LTE RRC promotions).  The sweep is journaled to a checkpoint file and
 then resumed (docs/RESILIENCE.md): the resumed run re-emits every cell
-from the journal without re-executing anything.
+from the journal without re-executing anything.  It finishes with the
+campaign fabric (docs/FABRIC.md): the grid runs cold into a persistent
+result store, then a second campaign over the same grid runs warm out
+of it — zero cells executed, bit-identical results.
 
 Run:  python examples/scenario_sweep.py
 """
@@ -74,6 +77,26 @@ def main():
         == [b.to_dict() for b in resumed.results]
     print(f"  resumed results bit-identical to the original run: "
           f"{identical}")
+
+    # The checkpoint journal's scope is one sweep; the result store
+    # (docs/FABRIC.md) memoizes cells *across* campaigns.  Run the
+    # grid cold into a store, then a brand-new campaign over the same
+    # grid warms up from it without executing a single cell.
+    store = Path(tempfile.mkdtemp()) / "results.cache"
+    cold = Campaign(**GRID)
+    cold.run(workers=1, store=store)
+    warm = Campaign(**GRID)
+    warm.run(workers=1, store=store)
+    counters = {metric["name"]: metric["value"]
+                for metric in warm.run_metrics["metrics"]
+                if metric["kind"] == "counter"}
+    print()
+    print(f"Warm re-run from the result store ({store.name}):")
+    print(f"  cache hits: {counters.get('campaign.cache_hits', 0)}, "
+          f"cells executed: {counters.get('campaign.cells_run', 0)}")
+    identical = [a.to_dict() for a in cold.results] \
+        == [b.to_dict() for b in warm.results]
+    print(f"  warm results bit-identical to the cold run: {identical}")
 
 
 if __name__ == "__main__":

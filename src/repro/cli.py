@@ -116,19 +116,24 @@ def cmd_campaign(args):
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH")
         return 2
+    if args.shards is not None and args.workers != 1:
+        print("error: --shards and --workers are mutually exclusive "
+              "(the shard transport sizes its own pool)")
+        return 2
     campaign = Campaign(
         envs=tuple(args.env),
         phones=tuple(args.phones), rtts=tuple(r * 1e-3 for r in args.rtts),
         tools=tuple(args.tools), count=args.count, base_seed=args.seed,
     )
     workers = args.workers if args.workers > 0 else None
-    verb = "running" if workers == 1 else "finished"
+    verb = "running" if workers == 1 and args.shards is None else "finished"
     campaign.run(
         workers=workers,
         collect_metrics=bool(args.metrics_out or args.report_out),
         checkpoint=args.checkpoint, resume=args.resume,
         cell_timeout=args.cell_timeout, retries=args.retries,
         retry_backoff=args.retry_backoff,
+        shards=args.shards, store=args.store,
         progress=lambda spec: print(f"  {verb} {spec.describe()}..."))
     table = Table(["Env", "Phone", "RTT", "Tool", "median (ms)",
                    "error (ms)", "n"],
@@ -148,6 +153,14 @@ def cmd_campaign(args):
         if resumed or retries:
             print(f"resumed {resumed} cell(s) from checkpoint, "
                   f"{retries} retr{'y' if retries == 1 else 'ies'}")
+        hits = counters.get("campaign.cache_hits", 0)
+        misses = counters.get("campaign.cache_misses", 0)
+        stolen = counters.get("campaign.shards_stolen", 0)
+        if args.store:
+            print(f"store cache: {hits} hit(s), {misses} miss(es)")
+        if args.shards is not None:
+            planned = counters.get("campaign.shards_planned", 0)
+            print(f"shards: {planned} dispatched, {stolen} stolen")
     if campaign.quarantine:
         bad = Table(["Env", "Phone", "RTT", "Tool", "kind", "attempts",
                      "error"],
@@ -171,6 +184,28 @@ def cmd_campaign(args):
         else:
             fmt = write_report(args.report_out, report)
             print(f"wrote decomposition report ({fmt}) to {args.report_out}")
+    # A sweep that quarantined cells is incomplete: exit nonzero so CI
+    # and shell pipelines notice (the tables above still show the rest).
+    return 1 if campaign.quarantine else 0
+
+
+def cmd_cache(args):
+    from repro.testbed.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"store {stats['path']}: {stats['live']} live cell(s), "
+              f"{stats['records']} record(s) in {stats['segments']} "
+              f"segment(s), {stats['bytes']} bytes")
+        if stats["skipped"]:
+            print(f"  {stats['skipped']} unreadable/stale line(s) skipped")
+        return 0
+    summary = store.gc()
+    print(f"gc: kept {summary['live']} live cell(s), removed "
+          f"{summary['removed_segments']} segment(s), dropped "
+          f"{summary['dropped']} stale or superseded record(s)")
+    return 0
 
 
 def cmd_report(args):
@@ -336,6 +371,8 @@ COMMANDS = {
     "compare": (cmd_compare, "tool comparison CDFs (Figure 8)"),
     "ping2": (cmd_ping2, "ping2 vs AcuteMon error sweep"),
     "campaign": (cmd_campaign, "run an env x phone x RTT x tool grid"),
+    "cache": (cmd_cache, "inspect or compact a persistent result store "
+                         "(docs/FABRIC.md)"),
     "report": (cmd_report, "delay-decomposition breakdown of a saved "
                            "campaign (which mechanism dominates where)"),
     "scenario": (cmd_scenario, "run one declarative scenario, or list "
@@ -410,6 +447,19 @@ def build_parser():
             run.add_argument("--save-spec", default=None, metavar="PATH",
                              help="write the resolved spec JSON before "
                                   "running")
+        if name == "cache":
+            cache_sub = cmd.add_subparsers(dest="cache_command",
+                                           required=True)
+            stats_cmd = cache_sub.add_parser(
+                "stats", help="print store occupancy (segments, live "
+                              "cells, bytes)")
+            gc_cmd = cache_sub.add_parser(
+                "gc", help="compact live records into one segment and "
+                           "drop stale entries")
+            for sub_cmd in (stats_cmd, gc_cmd):
+                sub_cmd.add_argument("--store", required=True,
+                                     metavar="DIR",
+                                     help="result store directory")
         if name == "report":
             cmd.add_argument("campaign", metavar="CAMPAIGN.json",
                              help="campaign result file saved by "
@@ -479,6 +529,17 @@ def build_parser():
                              help="base of the deterministic backoff "
                                   "between attempts: attempt i waits "
                                   "S * 2**i seconds (default 0)")
+            cmd.add_argument("--shards", type=int, default=None,
+                             metavar="N",
+                             help="partition the grid into N fingerprint-"
+                                  "keyed shards with work stealing "
+                                  "(docs/FABRIC.md; mutually exclusive "
+                                  "with --workers)")
+            cmd.add_argument("--store", default=None, metavar="DIR",
+                             help="persistent cross-campaign result "
+                                  "store: cells cached there are re-"
+                                  "emitted without executing, fresh "
+                                  "cells are recorded for next time")
     return parser
 
 

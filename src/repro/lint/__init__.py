@@ -17,7 +17,7 @@ turns those conventions into checked rules:
   findings, matched by line-independent fingerprints.
 * :mod:`repro.lint.report` — text / JSON / SARIF reporters.
 * rule packs: :mod:`~repro.lint.rules_obs` (RL001/RL002),
-  :mod:`~repro.lint.rules_determinism` (RL101–RL105),
+  :mod:`~repro.lint.rules_determinism` (RL101–RL105, RL107),
   :mod:`~repro.lint.rules_names` (RL106),
   :mod:`~repro.lint.rules_quality` (RL201–RL203),
   :mod:`~repro.lint.rules_registry` (RL301).

@@ -311,3 +311,82 @@ class RawCheckpointWriteRule(_SimScopedRule):
                         "resilience.append_journal_record so a crash "
                         "can only tear the final line", source))
         return findings
+
+
+@register_rule
+class RawStorePathOpenRule(_SimScopedRule):
+    """RL107: journal and store files belong to their home modules.
+
+    The resume and cache guarantees rest on two file formats —
+    the checkpoint journal (``repro.testbed.resilience``) and the
+    result store's segment/index files (``repro.testbed.store``).  Both
+    modules own their formats completely: record framing, version
+    stamps, torn-line recovery, and (for the store) the private-segment
+    rule that makes concurrent writers safe.  Any other code that opens
+    those files directly — even just to read — couples itself to the
+    layout and breaks silently when the schema version bumps.  Go
+    through :class:`CheckpointJournal` and :class:`ResultStore` instead.
+    """
+
+    id = "RL107"
+    category = "determinism"
+    severity = "error"
+    description = ("direct open()/read/write of a journal, checkpoint, "
+                   "store, or segment file outside its home module — go "
+                   "through CheckpointJournal / ResultStore, which own "
+                   "the record framing and version stamps")
+    exclude = ("testbed/resilience.py", "testbed/store.py")
+
+    #: Substring needles: identifiers like ``sweep_journal`` or
+    #: ``checkpoint_file`` unambiguously name the guarded formats.
+    _SUBSTRINGS = ("journal", "checkpoint", "segment")
+    #: Whole-word needles: ``store`` only matches as an underscore-
+    #: delimited word (``store_path``, ``result_store``) so innocent
+    #: identifiers like ``restore`` or ``storey`` stay clean.
+    _TOKENS = ("store",)
+    _IO_METHODS = ("read_text", "write_text", "read_bytes", "write_bytes")
+
+    @classmethod
+    def _identifier_matches(cls, identifier):
+        lowered = identifier.lower()
+        if any(needle in lowered for needle in cls._SUBSTRINGS):
+            return True
+        return any(word in cls._TOKENS for word in lowered.split("_"))
+
+    @classmethod
+    def _mentions_store(cls, node):
+        """Whether any identifier in the expression names a store file."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) \
+                    and cls._identifier_matches(child.id):
+                return True
+            if isinstance(child, ast.Attribute) \
+                    and cls._identifier_matches(child.attr):
+                return True
+        return False
+
+    _MESSAGE = ("the journal and store formats (framing, version stamps, "
+                "torn-line recovery) are private to testbed.resilience / "
+                "testbed.store — use CheckpointJournal or ResultStore")
+
+    def visit(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                targets = list(node.args) + [keyword.value
+                                             for keyword in node.keywords]
+                if any(self._mentions_store(target) for target in targets):
+                    findings.append(self.finding(
+                        path, node.lineno,
+                        f"open() on a journal/store path: {self._MESSAGE}",
+                        source))
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr in self._IO_METHODS
+                  and self._mentions_store(node.func.value)):
+                findings.append(self.finding(
+                    path, node.lineno,
+                    f".{node.func.attr}() on a journal/store path: "
+                    f"{self._MESSAGE}", source))
+        return findings

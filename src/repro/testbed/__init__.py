@@ -24,6 +24,16 @@ from repro.testbed.experiments import (
     ping_experiment,
     tool_comparison,
 )
+from repro.testbed.fabric import (
+    FabricRunner,
+    InProcessTransport,
+    MultiprocessTransport,
+    ShardPlan,
+    ShardTransport,
+    plan_shards,
+    replan,
+    shard_index,
+)
 from repro.testbed.parallel import ParallelCampaignRunner
 from repro.testbed.resilience import (
     CellFailure,
@@ -31,6 +41,7 @@ from repro.testbed.resilience import (
     CheckpointJournal,
     FaultPolicy,
 )
+from repro.testbed.store import ResultStore
 from repro.testbed.scenario import (
     TOOLS,
     ScenarioError,
@@ -49,19 +60,28 @@ __all__ = [
     "CheckpointJournal",
     "ENVIRONMENTS",
     "Environment",
+    "FabricRunner",
     "FaultPolicy",
+    "InProcessTransport",
+    "MultiprocessTransport",
     "ParallelCampaignRunner",
+    "ResultStore",
     "ScenarioError",
     "ScenarioSpec",
+    "ShardPlan",
+    "ShardTransport",
     "TOOLS",
     "Testbed",
     "acutemon_experiment",
     "build_environment",
     "environment_keys",
     "ping_experiment",
+    "plan_shards",
     "register_environment",
     "register_tool",
+    "replan",
     "run_scenario",
+    "shard_index",
     "tool_comparison",
     "tool_keys",
 ]

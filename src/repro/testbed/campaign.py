@@ -162,7 +162,7 @@ class Campaign:
     def run(self, progress=None, workers=1, chunk_size=None,
             collect_metrics=False, checkpoint=None, resume=False,
             fault_policy=None, cell_timeout=None, retries=0,
-            retry_backoff=0.0):
+            retry_backoff=0.0, shards=None, store=None, transport=None):
         """Execute every cell; returns the result list.
 
         ``progress`` (if given) is called exactly once per cell with its
@@ -190,6 +190,18 @@ class Campaign:
         in :attr:`quarantine` as ``CellFailure`` objects instead of
         failing the sweep, and :attr:`run_metrics` carries the runner's
         counters (``campaign.retries``, ``campaign.cells_resumed``, ...).
+
+        Fabric (see ``docs/FABRIC.md``): ``store`` names a persistent
+        :class:`~repro.testbed.store.ResultStore` directory (or passes
+        an instance) consulted before any cell executes — cells any
+        earlier campaign already computed are re-emitted from the cache
+        and fresh cells are recorded for the next run.  ``shards=N``
+        partitions the remaining cells into N fingerprint-keyed shards
+        through :class:`~repro.testbed.fabric.FabricRunner` and
+        executes them over ``transport`` (default: one process-pool
+        future per shard), stealing failed shards back in-process.
+        Every mode — serial, parallel, sharded, resumed, cache-warm —
+        produces bit-identical results, merged metrics, and reports.
         """
         if fault_policy is None and (cell_timeout is not None or retries
                                      or retry_backoff):
@@ -197,8 +209,17 @@ class Campaign:
             fault_policy = FaultPolicy(cell_timeout=cell_timeout,
                                        retries=retries,
                                        backoff=retry_backoff)
+        if shards is not None:
+            from repro.testbed.fabric import FabricRunner
+            runner = FabricRunner(self, shard_count=shards,
+                                  transport=transport,
+                                  workers=None if workers == 1 else workers)
+            return runner.run(progress=progress,
+                              collect_metrics=collect_metrics,
+                              checkpoint=checkpoint, resume=resume,
+                              fault_policy=fault_policy, store=store)
         resilient = (checkpoint is not None or resume
-                     or fault_policy is not None)
+                     or fault_policy is not None or store is not None)
         if workers == 1 and not resilient:
             self.results = []
             self.quarantine = []
@@ -214,7 +235,7 @@ class Campaign:
                                         chunk_size=chunk_size)
         return runner.run(progress=progress, collect_metrics=collect_metrics,
                           checkpoint=checkpoint, resume=resume,
-                          fault_policy=fault_policy)
+                          fault_policy=fault_policy, store=store)
 
     # -- persistence ----------------------------------------------------------
 

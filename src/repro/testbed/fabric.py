@@ -1,0 +1,343 @@
+"""Sharded campaign fabric: deterministic planning plus work stealing.
+
+:class:`~repro.testbed.parallel.ParallelCampaignRunner` shards a grid
+into *contiguous* chunks — fine inside one process pool, but fleet-scale
+sweeps (ROADMAP item 5) need shard membership that is stable across
+machines, restarts, and grid growth.  This module keys sharding on the
+cell's content address instead:
+
+* **Planner** — :func:`plan_shards` assigns every cell to
+  ``shard_index(spec.fingerprint(), n)``; the assignment is a pure
+  function of (spec, shard count), so two hosts planning the same grid
+  agree without talking to each other.  :func:`replan` handles dead
+  workers: cells on surviving shards never move, and a dead shard's
+  cells re-hash deterministically over the survivors.
+* **Transport seam** — a shard travels as one JSON-ready task payload
+  (``{"shard": n, "collect_metrics": ..., "policy": ..., "specs":
+  [...]}``) and comes back as a list of JSON-ready cell records, the
+  same wire shape the process-pool protocol uses.
+  :class:`InProcessTransport` and :class:`MultiprocessTransport`
+  implement the seam today; a socket transport for remote hosts only
+  has to move the same two payloads.
+* **Work stealing** — :class:`FabricRunner` dispatches the planned
+  shards through the transport and *steals* any shard that comes back
+  failed (worker killed, pool broken), re-running its cells in-process
+  under the same fault policy.  A stolen shard's cells produce the
+  same results they would have produced remotely, so stealing never
+  perturbs the output.
+
+The runner composes with the rest of the resilience stack unchanged:
+checkpoint journal resume first, then the persistent
+:class:`~repro.testbed.store.ResultStore` cache, and only the remaining
+cells are planned into shards.  The campaign invariant stays absolute —
+serial == parallel == sharded == resumed == cache-warm runs emit
+bit-identical results, merged metrics, and reports (pinned by
+``tests/test_fabric.py``).  See ``docs/FABRIC.md``.
+"""
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.obs import names as _names
+from repro.obs.metrics import MetricsRegistry
+from repro.testbed import parallel as _parallel
+from repro.testbed import resilience as _resilience
+
+#: Hex digits of the fingerprint used as the shard key.  64 bits of a
+#: SHA-256 is plenty for balance and keeps the arithmetic exact in
+#: every JSON-adjacent runtime a future socket transport might talk to.
+_KEY_HEX_DIGITS = 16
+
+
+def shard_index(fingerprint, shard_count):
+    """The home shard for a content address: stable, uniform, portable."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count!r}")
+    return int(fingerprint[:_KEY_HEX_DIGITS], 16) % shard_count
+
+
+class ShardPlan:
+    """A deterministic partition of grid cells into shards.
+
+    ``shards`` is a tuple of per-shard cell tuples (each cell a
+    ``(grid_index, spec)`` pair, in grid order within the shard);
+    ``assignments`` maps each cell's fingerprint to its shard id.
+    """
+
+    __slots__ = ("shard_count", "shards", "assignments")
+
+    def __init__(self, shard_count, shards, assignments):
+        self.shard_count = shard_count
+        self.shards = tuple(tuple(shard) for shard in shards)
+        self.assignments = dict(assignments)
+
+    def cells(self):
+        """Every planned cell, shard-major (shard 0 first)."""
+        for shard in self.shards:
+            yield from shard
+
+    def __repr__(self):
+        sizes = [len(shard) for shard in self.shards]
+        return f"<ShardPlan shards={sizes}>"
+
+
+def plan_shards(cells, shard_count, fingerprints=None):
+    """Partition ``cells`` (``(index, spec)`` pairs) by content address.
+
+    ``fingerprints`` optionally supplies each cell's precomputed
+    fingerprint (same order as ``cells``) so callers that already paid
+    for the hashes do not pay twice.  Every cell lands in exactly one
+    shard — the union of the planned shards is an exact partition of
+    the input (a Hypothesis property pins this for all grids and shard
+    counts).
+    """
+    if fingerprints is None:
+        fingerprints = [spec.fingerprint() for _, spec in cells]
+    shards = [[] for _ in range(shard_count)]
+    assignments = {}
+    for (index, spec), fingerprint in zip(cells, fingerprints):
+        home = shard_index(fingerprint, shard_count)
+        shards[home].append((index, spec))
+        assignments[fingerprint] = home
+    return ShardPlan(shard_count, shards, assignments)
+
+
+def replan(plan, dead, fingerprints=None):
+    """Reassign the cells of ``dead`` shard ids over the survivors.
+
+    Cells on surviving shards keep their assignment untouched; each
+    dead shard's cells re-hash over the sorted list of surviving shard
+    ids (``alive[shard_index(fp, len(alive))]``), so any two hosts that
+    agree on who died agree on the new plan without coordination.
+    ``fingerprints`` optionally maps grid index -> fingerprint to skip
+    re-hashing specs.
+    """
+    dead = set(dead)
+    alive = [sid for sid in range(plan.shard_count) if sid not in dead]
+    if not alive:
+        raise ValueError("replan requires at least one surviving shard")
+    shards = [[] for _ in range(plan.shard_count)]
+    assignments = {}
+    by_fingerprint = {}
+    for sid, shard in enumerate(plan.shards):
+        for index, spec in shard:
+            if fingerprints is not None and index in fingerprints:
+                fingerprint = fingerprints[index]
+            else:
+                fingerprint = spec.fingerprint()
+            by_fingerprint[fingerprint] = (sid, index, spec)
+    for fingerprint, (sid, index, spec) in by_fingerprint.items():
+        if sid in dead:
+            sid = alive[shard_index(fingerprint, len(alive))]
+        shards[sid].append((index, spec))
+        assignments[fingerprint] = sid
+    # Keep grid order inside each shard regardless of donor shard.
+    shards = [sorted(shard) for shard in shards]
+    return ShardPlan(plan.shard_count, shards, assignments)
+
+
+# -- the transport seam -------------------------------------------------------
+
+
+def run_shard_payload(task):
+    """Execute one shard task payload; returns its cell record list.
+
+    The executable half of the wire protocol: ``task`` is the JSON-ready
+    dict a transport moves to a worker, the return value the JSON-ready
+    record list it moves back.  Delegates to the process-pool shard
+    body so every transport shares one execution path (including the
+    chaos choke point on ``campaign.run_cell``).
+    """
+    return _parallel._run_shard((task["collect_metrics"], task["policy"],
+                                 task["specs"]))
+
+
+class ShardTransport:
+    """Where shard tasks execute: the host/process seam.
+
+    ``dispatch(tasks)`` consumes a list of shard task payloads and
+    yields one ``(shard_id, records, error)`` triple per task, *in task
+    order* (deterministic merging is the runner's job, ordered delivery
+    is the transport's).  ``records`` is the shard's cell record list
+    on success; on failure it is ``None`` and ``error`` carries the
+    exception, which tells the runner to steal the shard.  Implementing
+    these semantics over a socket — ship the task dict, read back the
+    record list — is all a remote-host transport needs.
+    """
+
+    def dispatch(self, tasks):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+class InProcessTransport(ShardTransport):
+    """Run every shard in the calling process (no pool, no pickling)."""
+
+    def dispatch(self, tasks):
+        for task in tasks:
+            try:
+                yield task["shard"], run_shard_payload(task), None
+            except Exception as exc:
+                yield task["shard"], None, exc
+
+
+class MultiprocessTransport(ShardTransport):
+    """One process-pool future per shard; a broken pool fails per-shard.
+
+    Worker processes are long-lived and reused across shards.  A shard
+    whose worker dies (or whose pool cannot deliver) is reported as a
+    per-shard failure rather than failing the dispatch, so the runner
+    can steal exactly the affected shards; if the pool cannot be
+    created at all, every task falls back to in-process execution.
+    """
+
+    def __init__(self, workers=None, start_method=None):
+        self.workers = workers
+        self.start_method = start_method
+
+    def dispatch(self, tasks):
+        if not tasks:
+            return
+        context = _parallel.pool_context(self.start_method)
+        workers = self.workers or _parallel.default_worker_count()
+        workers = max(1, min(workers, len(tasks)))
+        if context is None:
+            yield from InProcessTransport().dispatch(tasks)
+            return
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=context)
+        except (OSError, ValueError):  # pragma: no cover - exotic platforms
+            yield from InProcessTransport().dispatch(tasks)
+            return
+        with executor:
+            futures = [executor.submit(run_shard_payload, task)
+                       for task in tasks]
+            for task, future in zip(tasks, futures):
+                try:
+                    yield task["shard"], future.result(), None
+                except (BrokenProcessPool, OSError) as exc:
+                    yield task["shard"], None, exc
+                except Exception as exc:
+                    yield task["shard"], None, exc
+
+
+# -- the sharded runner -------------------------------------------------------
+
+
+class FabricRunner(_parallel.ParallelCampaignRunner):
+    """Execute a campaign as fingerprint-keyed shards over a transport.
+
+    Extends the parallel runner with content-addressed shard planning
+    and work stealing; the cache pre-pass (journal resume, then result
+    store), per-cell fault policy, counters, and finalisation are all
+    inherited, so every execution mode shares one merge path.
+
+    Parameters
+    ----------
+    campaign:
+        The campaign whose grid should be executed.
+    shard_count:
+        How many shards to plan.  Balance follows the fingerprint hash,
+        so shards are near-equal for any real grid.
+    transport:
+        A :class:`ShardTransport`; default
+        :class:`MultiprocessTransport` (one future per shard).
+    workers:
+        Worker hint forwarded to the default transport.
+    """
+
+    def __init__(self, campaign, shard_count, transport=None, workers=None):
+        super().__init__(campaign, workers=workers)
+        if shard_count < 1:
+            raise ValueError(
+                f"shard_count must be >= 1, got {shard_count!r}")
+        self.shard_count = shard_count
+        self.transport = (MultiprocessTransport(workers=workers)
+                          if transport is None else transport)
+        #: The :class:`ShardPlan` of the most recent run (pending cells
+        #: only — cached cells are never planned).
+        self.plan = None
+
+    def _steal_shard(self, state, shard, progress, policy,
+                     collect_metrics):
+        """Re-run a failed shard's cells in-process (work stealing).
+
+        A stolen cell is deterministic, so the steal reproduces exactly
+        what the lost worker would have returned; without a fault
+        policy a genuinely raising cell still fails the sweep, the
+        historical contract.
+        """
+        for index, spec in shard:
+            result, stats = self._run_cell(spec, policy, collect_metrics)
+            self._merge_cell(state, index, spec, result, stats,
+                             progress=progress)
+
+    def run(self, progress=None, collect_metrics=False, checkpoint=None,
+            resume=False, fault_policy=None, store=None):
+        """Plan, dispatch, steal, merge; returns the result list.
+
+        Same contract as the parallel runner (``progress`` exactly once
+        per cell; bit-identical results, merged metrics, and reports),
+        except that ``progress`` fires in shard order rather than grid
+        order while the grid is in flight — the installed results are
+        in grid order regardless.  ``self.mode`` ends as ``"sharded"``,
+        and ``campaign.shards_stolen`` counts shards whose transport
+        execution failed and were re-run in-process.
+        """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
+        campaign = self.campaign
+        cells = list(campaign.cells())
+        self.metrics = MetricsRegistry(enabled=True)
+        state = {
+            "slots": [None] * len(cells),
+            # Sharding keys on content addresses, so pay for the
+            # fingerprints up front even without checkpoint or store.
+            "fingerprints": [spec.fingerprint() for spec in cells],
+            "journal": None,
+            "store": None,
+            "merged": 0,
+        }
+        journal, store, pending = self._prepare(
+            cells, state, checkpoint, resume, store, progress)
+        plan = plan_shards(
+            pending, self.shard_count,
+            fingerprints=[state["fingerprints"][index]
+                          for index, _ in pending])
+        self.plan = plan
+        shards = [(sid, shard) for sid, shard in enumerate(plan.shards)
+                  if shard]
+        self._count(_names.CAMPAIGN_SHARDS_PLANNED, len(shards))
+        policy_payload = (None if fault_policy is None
+                          else fault_policy.to_dict())
+        tasks = [{"shard": sid,
+                  "collect_metrics": collect_metrics,
+                  "policy": policy_payload,
+                  "specs": [spec.to_dict() for _, spec in shard]}
+                 for sid, shard in shards]
+        try:
+            if journal is not None:
+                state["journal"] = journal.open()
+            # Lazily opened on first put; a warm run writes nothing.
+            state["store"] = store
+            self.mode = "sharded"
+            for sid, records, error in self.transport.dispatch(tasks):
+                shard = plan.shards[sid]
+                if error is not None:
+                    self._count(_names.CAMPAIGN_SHARDS_STOLEN)
+                    self._steal_shard(state, shard, progress,
+                                      fault_policy, collect_metrics)
+                    continue
+                for (index, spec), record in zip(shard, records):
+                    result = _resilience.result_from_dict(record["cell"])
+                    self._merge_cell(state, index, spec, result, record,
+                                     progress=progress)
+        finally:
+            if journal is not None:
+                journal.close()
+            if store is not None:
+                store.close()
+        return self._finalize(state)

@@ -48,10 +48,12 @@ import multiprocessing
 import os
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.obs import names as _names
 from repro.obs.metrics import MetricsRegistry
 from repro.testbed import campaign as _campaign
 from repro.testbed import resilience as _resilience
 from repro.testbed.scenario import ScenarioSpec
+from repro.testbed.store import ResultStore
 
 #: Shards-per-worker used when no explicit chunk size is given: small
 #: enough to amortise task dispatch, large enough that a slow cell does
@@ -97,6 +99,27 @@ def _run_shard(task):
 def default_worker_count():
     """One worker per CPU (at least one)."""
     return os.cpu_count() or 1
+
+
+def pool_context(start_method=None):
+    """The preferred multiprocessing context, or ``None`` if unusable.
+
+    ``fork`` when the platform offers it (cheapest, and fork workers
+    inherit chaos-test monkeypatching), otherwise the platform default;
+    an explicitly requested method that the platform lacks yields
+    ``None`` so callers fall back to in-process execution.
+    """
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is not None:
+            if start_method not in methods:
+                return None
+            return multiprocessing.get_context(start_method)
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        return None
 
 
 class ParallelCampaignRunner:
@@ -151,17 +174,7 @@ class ParallelCampaignRunner:
                 for start in range(0, len(cells), size)]
 
     def _pool_context(self):
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            if self.start_method is not None:
-                if self.start_method not in methods:
-                    return None
-                return multiprocessing.get_context(self.start_method)
-            if "fork" in methods:
-                return multiprocessing.get_context("fork")
-            return multiprocessing.get_context()
-        except (ValueError, OSError):  # pragma: no cover - exotic platforms
-            return None
+        return pool_context(self.start_method)
 
     # -- execution ------------------------------------------------------------
 
@@ -172,20 +185,73 @@ class ParallelCampaignRunner:
 
     def _merge_cell(self, state, index, spec, result, stats,
                     progress=None):
-        """Install one finished cell: slot, counters, journal, progress."""
+        """Install one finished cell: slot, counters, journal, store."""
         state["slots"][index] = result
-        self._count("campaign.retries", stats["attempts"] - 1)
-        self._count("campaign.cell_timeouts", stats["timeouts"])
+        self._count(_names.CAMPAIGN_RETRIES, stats["attempts"] - 1)
+        self._count(_names.CAMPAIGN_CELL_TIMEOUTS, stats["timeouts"])
         if result.failure:
-            self._count("campaign.cells_quarantined")
+            self._count(_names.CAMPAIGN_CELLS_QUARANTINED)
         else:
-            self._count("campaign.cells_run")
+            self._count(_names.CAMPAIGN_CELLS_RUN)
             journal = state["journal"]
             if journal is not None:
                 journal.append(state["fingerprints"][index], result)
-                self._count("campaign.checkpoint_writes")
+                self._count(_names.CAMPAIGN_CHECKPOINT_WRITES)
+            store = state["store"]
+            if store is not None:
+                store.put(state["fingerprints"][index], result)
+                self._count(_names.CAMPAIGN_STORE_WRITES)
         if progress is not None:
             progress(spec)
+
+    def _prepare(self, cells, state, checkpoint, resume, store, progress):
+        """The cache pre-pass shared by every resilient execution mode.
+
+        Consults the checkpoint journal first (this run's own past),
+        then the persistent result store (any past run's cells): a
+        cached cell is installed into its slot immediately — counted as
+        ``campaign.cells_resumed`` or ``campaign.cache_hits``, with
+        ``progress`` fired — and only the remainder comes back as
+        ``pending`` ``(index, spec)`` pairs.  Returns
+        ``(journal, store, pending)``; neither handle is opened yet.
+        """
+        store = ResultStore.ensure(store)
+        journal = None
+        if checkpoint is not None:
+            journal = _resilience.CheckpointJournal(checkpoint)
+        if state["fingerprints"] is None and (journal is not None
+                                              or store is not None):
+            state["fingerprints"] = [spec.fingerprint() for spec in cells]
+        cache = journal.load() if (journal is not None and resume) else {}
+        fingerprints = state["fingerprints"]
+        pending = []
+        for index, spec in enumerate(cells):
+            fingerprint = fingerprints[index] if fingerprints else None
+            payload = cache.get(fingerprint) if cache else None
+            if payload is not None:
+                self._count(_names.CAMPAIGN_CELLS_RESUMED)
+            elif store is not None:
+                payload = store.get(fingerprint)
+                if payload is not None:
+                    self._count(_names.CAMPAIGN_CACHE_HITS)
+            if payload is not None:
+                state["slots"][index] = _resilience.result_from_dict(payload)
+                if progress is not None:
+                    progress(spec)
+            else:
+                pending.append((index, spec))
+        if store is not None:
+            self._count(_names.CAMPAIGN_CACHE_MISSES, len(pending))
+        return journal, store, pending
+
+    def _finalize(self, state):
+        """Split the merged slots into results/quarantine + counters."""
+        campaign = self.campaign
+        slots = state["slots"]
+        campaign.results = [cell for cell in slots if not cell.failure]
+        campaign.quarantine = [cell for cell in slots if cell.failure]
+        campaign.run_metrics = self.metrics.snapshot()
+        return campaign.results
 
     def _run_cell(self, spec, policy, collect_metrics):
         """One in-process cell under the optional fault policy."""
@@ -239,24 +305,28 @@ class ParallelCampaignRunner:
                     state["merged"] += 1
 
     def run(self, progress=None, collect_metrics=False, checkpoint=None,
-            resume=False, fault_policy=None):
+            resume=False, fault_policy=None, store=None):
         """Execute the grid and install the merged results.
 
         ``progress(spec)`` is invoked exactly once per cell with its
         :class:`ScenarioSpec`: before the cell runs when serial, as each
         cell's result merges when parallel, and immediately for cells
-        restored from the checkpoint cache.  ``collect_metrics`` makes
-        every cell run observed and carry its metrics snapshot home
-        through the same JSON round-trip as the rest of the result.
+        restored from a cache.  ``collect_metrics`` makes every cell
+        run observed and carry its metrics snapshot home through the
+        same JSON round-trip as the rest of the result.
 
         ``checkpoint`` (a path) journals every completed cell through a
         :class:`~repro.testbed.resilience.CheckpointJournal`;
         ``resume=True`` first loads the journal and re-emits cached
         results for cells whose fingerprints already appear, running
         only the remainder — the final result list and merged metrics
-        are bit-identical to an uninterrupted run.  ``fault_policy``
-        applies a per-cell timeout/retry budget; cells that exhaust it
-        become quarantined
+        are bit-identical to an uninterrupted run.  ``store`` (a path
+        or :class:`~repro.testbed.store.ResultStore`) consults the
+        persistent cross-campaign result cache before any cell
+        executes and records every fresh successful cell into it; a
+        fully warm store re-emits the whole campaign without executing
+        anything.  ``fault_policy`` applies a per-cell timeout/retry
+        budget; cells that exhaust it become quarantined
         :class:`~repro.testbed.resilience.CellFailure` entries on
         ``campaign.quarantine`` instead of failing the sweep.  Without a
         policy, a raising cell fails the run (the historical contract).
@@ -274,30 +344,19 @@ class ParallelCampaignRunner:
             "slots": [None] * len(cells),
             "fingerprints": None,
             "journal": None,
+            "store": None,
             "merged": 0,
         }
-        journal = None
-        if checkpoint is not None:
-            state["fingerprints"] = [spec.fingerprint() for spec in cells]
-            journal = _resilience.CheckpointJournal(checkpoint)
-        cache = journal.load() if (journal is not None and resume) else {}
-        pending = []
-        for index, spec in enumerate(cells):
-            payload = cache.get(state["fingerprints"][index]) if cache \
-                else None
-            if payload is not None:
-                result = _resilience.result_from_dict(payload)
-                state["slots"][index] = result
-                self._count("campaign.cells_resumed")
-                if progress is not None:
-                    progress(spec)
-            else:
-                pending.append((index, spec))
+        journal, store, pending = self._prepare(
+            cells, state, checkpoint, resume, store, progress)
         workers = min(self.workers, len(pending)) if pending else 0
         pool_context = self._pool_context() if workers > 1 else None
         try:
             if journal is not None:
                 state["journal"] = journal.open()
+            # The store opens its writer segment lazily on first put,
+            # so a fully warm run leaves no empty segment behind.
+            state["store"] = store
             if workers <= 1 or pool_context is None:
                 self.mode = "serial"
                 self._run_serial(state, pending, progress, fault_policy,
@@ -314,15 +373,13 @@ class ParallelCampaignRunner:
                     # in-process.  Already-merged (and journaled) cells
                     # are kept, so nothing re-runs.
                     self.mode = "parallel-degraded"
-                    self._count("campaign.pool_failures")
+                    self._count(_names.CAMPAIGN_POOL_FAILURES)
                     self._run_serial(state, pending[state["merged"]:],
                                      progress, fault_policy,
                                      collect_metrics)
         finally:
             if journal is not None:
                 journal.close()
-        slots = state["slots"]
-        campaign.results = [cell for cell in slots if not cell.failure]
-        campaign.quarantine = [cell for cell in slots if cell.failure]
-        campaign.run_metrics = self.metrics.snapshot()
-        return campaign.results
+            if store is not None:
+                store.close()
+        return self._finalize(state)

@@ -1,0 +1,339 @@
+"""Persistent content-addressed result store: memoization as a service.
+
+The checkpoint journal (:mod:`repro.testbed.resilience`) makes one
+campaign resumable; this module makes every campaign — past or future,
+across processes — reuse cells any earlier run already computed.  The
+:class:`ResultStore` maps a cell's content address
+(:meth:`~repro.testbed.scenario.ScenarioSpec.fingerprint`) to its
+serialized :class:`~repro.testbed.campaign.CellResult` payload, metrics
+snapshot included, so a cache-warm sweep re-emits every cell
+byte-identically without executing anything.
+
+On-disk layout (``docs/FABRIC.md``)::
+
+    <root>/
+      segments/seg-<writer>-<n>.jsonl   # append-only record files
+      index.jsonl                       # rebuildable locator accelerator
+
+Each segment line is one record,
+``{"v": 1, "fingerprint": "<sha256>", "result": {...}}`` — the same
+payload shape the journal and the worker protocol use — written through
+:func:`~repro.testbed.resilience.append_journal_record` (one ``write``
++ ``flush``), so a crash can only tear a segment's final line.  Every
+writer appends to its **own** segment (the name embeds the writer id),
+which is what makes concurrent ``put`` from several processes safe:
+no two processes ever share an append handle.  The index is a pure
+accelerator mapping fingerprints to segment names; it is rebuilt from
+the segments whenever it is missing or disagrees with them, so deleting
+or corrupting ``index.jsonl`` costs a rescan, never data.
+
+Reads are *tolerant* where the journal's are strict: a store accretes
+segments from many runs and machines, so an unparseable or
+wrong-version line is skipped (and counted in :meth:`stats`) rather
+than truncating everything after it — a corrupted record simply misses
+the cache and the cell re-executes.  Later records win on duplicate
+fingerprints.  :meth:`gc` compacts the live records into one fresh
+segment and drops stale-version and superseded duplicates.
+
+Lint rule ``RL107`` keeps this module (and the journal's) the only
+place that opens store/journal files directly; everything else goes
+through the classes.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.testbed.resilience import append_journal_record
+
+#: Store record schema version; bumped if the record shape changes.
+#: Records stamped with any other version are skipped, not crashed on,
+#: so a store written by a newer schema degrades to cache misses.
+STORE_VERSION = 1
+
+_SEGMENT_DIR = "segments"
+_INDEX_NAME = "index.jsonl"
+
+#: Per-process counter so two stores opened by one process get distinct
+#: segment names (the writer id embeds the pid for cross-process
+#: uniqueness; no wall clock involved, so naming stays deterministic
+#: for a given process history).
+_WRITER_SEQ = [0]
+
+
+def _parse_record(line):
+    """One segment/index line as a dict, or ``None`` if unusable."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class ResultStore:
+    """Content-addressed cache of completed campaign cells.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first write).
+    durable:
+        ``fsync`` each appended record — survives power loss at a disk
+        round-trip per cell; the default (``flush`` only) survives
+        process crashes.
+    """
+
+    __slots__ = ("root", "durable", "_index", "_segment_cache",
+                 "_handle", "_segment_name", "_skipped")
+
+    def __init__(self, root, durable=False):
+        self.root = pathlib.Path(root)
+        self.durable = durable
+        self._index = None  # fingerprint -> segment name
+        self._segment_cache = {}  # segment name -> {fingerprint: payload}
+        self._handle = None
+        self._segment_name = None
+        self._skipped = 0
+
+    @classmethod
+    def ensure(cls, store):
+        """Coerce a path (or ``None``/instance) to a store instance."""
+        if store is None or isinstance(store, cls):
+            return store
+        return cls(store)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def segment_dir(self):
+        return self.root / _SEGMENT_DIR
+
+    @property
+    def index_path(self):
+        return self.root / _INDEX_NAME
+
+    def segment_names(self):
+        """Every segment file name, sorted (deterministic scan order)."""
+        try:
+            names = [entry.name for entry in self.segment_dir.iterdir()
+                     if entry.name.endswith(".jsonl")]
+        except OSError:
+            return []
+        return sorted(names)
+
+    # -- reading -------------------------------------------------------------
+
+    def _scan_segment(self, name):
+        """``{fingerprint: payload}`` for one segment; bad lines skipped."""
+        cached = self._segment_cache.get(name)
+        if cached is not None:
+            return cached
+        records = {}
+        try:
+            text = (self.segment_dir / name).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            text = ""
+        for line in text.split("\n"):
+            if not line:
+                continue
+            record = _parse_record(line)
+            if (record is None
+                    or record.get("v") != STORE_VERSION
+                    or not isinstance(record.get("fingerprint"), str)
+                    or not isinstance(record.get("result"), dict)):
+                self._skipped += 1
+                continue
+            records[record["fingerprint"]] = record["result"]
+        self._segment_cache[name] = records
+        return records
+
+    def _load_index_file(self):
+        """The index accelerator as ``{fingerprint: segment}``, or None."""
+        try:
+            text = self.index_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None
+        index = {}
+        for line in text.split("\n"):
+            if not line:
+                continue
+            record = _parse_record(line)
+            if (record is None or record.get("v") != STORE_VERSION
+                    or not isinstance(record.get("fingerprint"), str)
+                    or not isinstance(record.get("segment"), str)):
+                continue  # a torn or foreign line costs one entry, not all
+            index[record["fingerprint"]] = record["segment"]
+        return index
+
+    def _rebuild_index(self):
+        """Authoritative index from a full segment scan (later seg wins)."""
+        index = {}
+        for name in self.segment_names():
+            for fingerprint in self._scan_segment(name):
+                index[fingerprint] = name
+        return index
+
+    def _ensure_index(self):
+        if self._index is None:
+            self._index = self._load_index_file()
+            if self._index is None:
+                self._index = self._rebuild_index()
+        return self._index
+
+    def contains(self, fingerprint):
+        """Whether the store holds a result for this content address."""
+        return self.get(fingerprint) is not None
+
+    def get(self, fingerprint):
+        """The cached result payload for ``fingerprint``, or ``None``.
+
+        The index is an accelerator, not an authority: an entry whose
+        segment no longer yields the record (corruption, a foreign
+        index line) triggers one authoritative rescan before giving up.
+        """
+        index = self._ensure_index()
+        segment = index.get(fingerprint)
+        if segment is not None:
+            payload = self._scan_segment(segment).get(fingerprint)
+            if payload is not None:
+                return payload
+        # Index miss or stale entry: rescan once, then trust the result.
+        rebuilt = self._rebuild_index()
+        if rebuilt != index:
+            self._index = rebuilt
+            segment = rebuilt.get(fingerprint)
+            if segment is not None:
+                return self._scan_segment(segment).get(fingerprint)
+        return None
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self):
+        """Open a private segment for appending; returns self."""
+        if self._handle is None:
+            self.segment_dir.mkdir(parents=True, exist_ok=True)
+            _WRITER_SEQ[0] += 1
+            # Zero-padded so lexicographic segment order == creation
+            # order for one writer (the rebuild scan relies on it).
+            name = f"seg-{os.getpid()}-{_WRITER_SEQ[0]:08d}.jsonl"
+            self._segment_name = name
+            self._handle = (self.segment_dir / name).open(
+                "a", encoding="utf-8")
+        return self
+
+    def put(self, fingerprint, result):
+        """Store one completed cell under its content address.
+
+        ``result`` is a :class:`~repro.testbed.campaign.CellResult` (or
+        anything with ``to_dict()``).  Opens the writer segment on first
+        use; one record is one flushed line, and the index append is a
+        separate single flushed line (atomic for same-process readers,
+        tolerated if torn by the index loader).
+        """
+        if self._handle is None:
+            self.open()
+        payload = result.to_dict()
+        append_journal_record(self._handle, {
+            "v": STORE_VERSION, "fingerprint": fingerprint,
+            "result": payload,
+        })
+        if self.durable:
+            os.fsync(self._handle.fileno())
+        with self.index_path.open("a", encoding="utf-8") as index_handle:
+            append_journal_record(index_handle, {
+                "v": STORE_VERSION, "fingerprint": fingerprint,
+                "segment": self._segment_name,
+            })
+        self._ensure_index()[fingerprint] = self._segment_name
+        self._segment_cache.setdefault(self._segment_name,
+                                       {})[fingerprint] = payload
+        return fingerprint
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self.open()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def gc(self):
+        """Compact live records into one fresh segment.
+
+        Drops superseded duplicates and records whose schema version is
+        not :data:`STORE_VERSION`, rewrites the index to match, and
+        removes the old segments.  Safe to run on a store nobody is
+        writing; returns a summary dict
+        (``live``/``removed_segments``/``dropped`` counts).
+        """
+        self.close()
+        old_names = self.segment_names()
+        self._segment_cache.clear()
+        self._skipped = 0
+        live = {}
+        total_records = 0
+        for name in old_names:
+            scanned = self._scan_segment(name)
+            total_records += len(scanned)
+            live.update(scanned)
+        dropped = self._skipped + (total_records - len(live))
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        _WRITER_SEQ[0] += 1
+        compacted = f"seg-{os.getpid()}-{_WRITER_SEQ[0]:08d}-gc.jsonl"
+        with (self.segment_dir / compacted).open(
+                "a", encoding="utf-8") as handle:
+            for fingerprint in sorted(live):
+                append_journal_record(handle, {
+                    "v": STORE_VERSION, "fingerprint": fingerprint,
+                    "result": live[fingerprint],
+                })
+        with self.index_path.open("w", encoding="utf-8") as index_handle:
+            for fingerprint in sorted(live):
+                append_journal_record(index_handle, {
+                    "v": STORE_VERSION, "fingerprint": fingerprint,
+                    "segment": compacted,
+                })
+        for name in old_names:
+            try:
+                (self.segment_dir / name).unlink()
+            except OSError:
+                pass
+        self._segment_cache = {compacted: live}
+        self._index = {fingerprint: compacted for fingerprint in live}
+        self._skipped = 0
+        return {"live": len(live), "removed_segments": len(old_names),
+                "dropped": dropped}
+
+    def stats(self):
+        """Occupancy summary: segments, records, live entries, bytes."""
+        self._segment_cache.clear()
+        self._skipped = 0
+        names = self.segment_names()
+        total_records = 0
+        total_bytes = 0
+        live = {}
+        for name in names:
+            scanned = self._scan_segment(name)
+            total_records += len(scanned)
+            live.update(scanned)
+            try:
+                total_bytes += (self.segment_dir / name).stat().st_size
+            except OSError:
+                pass
+        return {
+            "path": str(self.root),
+            "segments": len(names),
+            "records": total_records,
+            "live": len(live),
+            "skipped": self._skipped,
+            "bytes": total_bytes,
+        }
+
+    def __repr__(self):
+        state = "open" if self._handle is not None else "closed"
+        return f"<ResultStore {self.root} {state}>"

@@ -20,9 +20,18 @@ grid, stable across runs and processes):
   the parent (a worker dying mid-shard; in-parent execution falls back
   to ``always_fail`` semantics so the grid still cannot complete the
   cell silently),
+* ``kill_shard`` — like ``kill_worker`` in a worker process, but runs
+  the cell *normally* when executed in the parent: the fault model for
+  the fabric's work stealing, where a stolen shard must complete
+  in-process with the exact results its dead worker would have
+  produced,
 * ``crash_after`` — :func:`crash_after` raises :class:`SimulatedCrash`
   once N cells have completed, simulating the sweep process dying
   between cells (checkpoint + resume should recover).
+
+:func:`corrupt_store_segment` truncates or garbles a persistent result
+store on disk so the cache-recovery chaos tests can pin that a damaged
+segment degrades to cache misses instead of poisoning the campaign.
 
 Attempt counts are recorded in :attr:`ChaosInjector.calls` so tests can
 assert exact retry budgets.  State lives in the parent process; fork
@@ -58,11 +67,12 @@ class ChaosInjector:
     """
 
     def __init__(self, fail_times=None, always_fail=None, hang=None,
-                 kill_worker=None, hang_seconds=120.0):
+                 kill_worker=None, kill_shard=None, hang_seconds=120.0):
         self.fail_times = dict(fail_times or {})
         self.always_fail = set(always_fail or ())
         self.hang = set(hang or ())
         self.kill_worker = set(kill_worker or ())
+        self.kill_shard = set(kill_shard or ())
         self.hang_seconds = hang_seconds
         self.parent_pid = os.getpid()
         #: seed -> number of times the cell was attempted (parent
@@ -78,6 +88,8 @@ class ChaosInjector:
                 os._exit(17)
             raise ChaosError(f"cell seed={seed} ran in-parent after "
                              "its worker was killed")
+        if seed in self.kill_shard and os.getpid() != self.parent_pid:
+            os._exit(19)
         if seed in self.hang:
             time.sleep(self.hang_seconds)
         if seed in self.always_fail:
@@ -116,3 +128,40 @@ def crash_after(n, monkeypatch):
     dying_run_cell.state = state
     monkeypatch.setattr(_campaign, "run_cell", dying_run_cell)
     return dying_run_cell
+
+
+def corrupt_store_segment(store_root, mode="garble", drop_index=False):
+    """Damage a persistent result store in place; returns segments hit.
+
+    ``mode="garble"`` overwrites the middle line of each segment with
+    non-JSON bytes (an unreadable record inside an otherwise healthy
+    segment); ``mode="truncate"`` chops each segment mid-line (a torn
+    tail, as left by a crash during ``put``).  ``drop_index=True``
+    additionally deletes ``index.jsonl`` so the store must rebuild its
+    locator from the surviving segments.
+    """
+    import pathlib
+
+    root = pathlib.Path(store_root)
+    segment_dir = root / "segments"
+    damaged = []
+    for segment in sorted(segment_dir.glob("*.jsonl")):
+        lines = segment.read_text(encoding="utf-8").split("\n")
+        body = [line for line in lines if line]
+        if not body:
+            continue
+        if mode == "garble":
+            body[len(body) // 2] = '{"v": 1, "fingerprint": !!corrupt!!'
+            segment.write_text("\n".join(body) + "\n", encoding="utf-8")
+        elif mode == "truncate":
+            text = "\n".join(body)
+            segment.write_text(text[:len(text) - len(body[-1]) // 2],
+                               encoding="utf-8")
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        damaged.append(segment.name)
+    if drop_index:
+        index = root / "index.jsonl"
+        if index.exists():
+            index.unlink()
+    return damaged

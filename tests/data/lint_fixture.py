@@ -45,3 +45,9 @@ def persist(journal, checkpoint_file, record):
 def poke(sim):
     sim._heap.clear()
     return sim._wheel_cursor
+
+
+def snoop(store_path, segment_dir):
+    raw = open(store_path / "index.jsonl")
+    head = segment_dir.read_text()
+    return raw, head

@@ -16,7 +16,14 @@ pinned here are the resilience layer's whole contract:
   which finishes the unmerged remainder — nothing lost, nothing run
   twice;
 * a truncated journal (any byte boundary) never duplicates or
-  corrupts results on resume.
+  corrupts results on resume;
+* a shard whose worker dies mid-grid is stolen back in-process and the
+  sharded run stays bit-identical;
+* a garbled or torn result-store segment degrades to cache misses —
+  damaged cells re-execute, everything else stays cached, and the warm
+  run still matches the reference;
+* two writers appending to one store concurrently never clobber each
+  other, and ``gc`` keeps every live record.
 """
 
 import json
@@ -24,9 +31,13 @@ import multiprocessing
 
 import pytest
 
-from tests.chaos import ChaosInjector, SimulatedCrash, crash_after
+from tests.chaos import (
+    ChaosInjector, SimulatedCrash, corrupt_store_segment, crash_after,
+)
 from repro.testbed.campaign import Campaign, CellResult
+from repro.testbed.fabric import FabricRunner, MultiprocessTransport
 from repro.testbed.parallel import ParallelCampaignRunner
+from repro.testbed.store import ResultStore
 
 #: The ISSUE's acceptance grid: 2 envs x 1 phone x 3 RTTs x 2 tools.
 GRID = dict(envs=("wifi", "cellular-lte"), phones=("nexus5",),
@@ -295,3 +306,142 @@ class TestCrashPointSweep:
             cached = sum(1 for end in intact_line_ends if end <= cut)
             assert stats.get("campaign.cells_resumed", 0) == cached
             assert stats.get("campaign.cells_run", 0) == 4 - cached
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE,
+                    reason="shard-kill chaos needs the fork start method")
+class TestShardDeath:
+    """A dead shard is stolen back in-process, bit-identically."""
+
+    def test_killed_shard_is_stolen_and_run_stays_identical(
+            self, monkeypatch, reference):
+        victim_seed = reference["seeds"][6]
+        injector = ChaosInjector(kill_shard={victim_seed})
+        injector.install(monkeypatch)
+        campaign = make_campaign()
+        runner = FabricRunner(
+            campaign, shard_count=4,
+            transport=MultiprocessTransport(workers=2,
+                                            start_method="fork"))
+        runner.run(collect_metrics=True)
+        assert runner.mode == "sharded"
+        assert campaign.quarantine == []
+        assert serialized(campaign) == reference["results"]
+        assert json.dumps(campaign.merged_metrics(), sort_keys=True) \
+            == reference["metrics"]
+        stats = counters(campaign)
+        # At least the victim's shard failed over; a broken pool may
+        # take unfinished siblings with it — all must be stolen.
+        assert stats["campaign.shards_stolen"] >= 1
+        assert stats["campaign.shards_planned"] \
+            >= stats["campaign.shards_stolen"]
+        assert stats["campaign.cells_run"] == 12
+
+    def test_progress_fires_once_per_cell_despite_shard_death(
+            self, monkeypatch, reference):
+        victim_seed = reference["seeds"][6]
+        ChaosInjector(kill_shard={victim_seed}).install(monkeypatch)
+        campaign = make_campaign()
+        runner = FabricRunner(
+            campaign, shard_count=4,
+            transport=MultiprocessTransport(workers=2,
+                                            start_method="fork"))
+        seen = []
+        runner.run(progress=lambda spec: seen.append(spec.seed))
+        assert sorted(seen) == sorted(reference["seeds"])
+
+
+class TestStoreCorruption:
+    """A damaged store segment costs cache hits, never correctness."""
+
+    def _cold_store(self, tmp_path, reference):
+        root = tmp_path / "store"
+        cold = make_campaign()
+        cold.run(workers=1, collect_metrics=True, store=ResultStore(root))
+        assert serialized(cold) == reference["results"]
+        return root
+
+    @pytest.mark.parametrize("mode,drop_index", [
+        ("garble", False),   # unreadable record mid-segment
+        ("truncate", False),  # torn final record (crash during put)
+        ("garble", True),    # ... and the index accelerator is gone too
+    ])
+    def test_damage_degrades_to_misses_and_recovers(self, tmp_path,
+                                                    reference, mode,
+                                                    drop_index):
+        root = self._cold_store(tmp_path, reference)
+        damaged = corrupt_store_segment(root, mode=mode,
+                                        drop_index=drop_index)
+        # One writer, so one segment; each mode kills exactly one record.
+        assert len(damaged) == 1
+        warm = make_campaign()
+        warm.run(workers=1, collect_metrics=True, store=ResultStore(root))
+        assert warm.quarantine == []
+        assert serialized(warm) == reference["results"]
+        assert json.dumps(warm.merged_metrics(), sort_keys=True) \
+            == reference["metrics"]
+        stats = counters(warm)
+        assert stats["campaign.cells_run"] == 1
+        assert stats["campaign.cache_hits"] == 11
+        assert stats["campaign.cache_misses"] == 1
+        # The re-executed cell was written back: the next run is whole.
+        healed = make_campaign()
+        healed.run(workers=1, collect_metrics=True,
+                   store=ResultStore(root))
+        assert serialized(healed) == reference["results"]
+        assert counters(healed)["campaign.cache_hits"] == 12
+
+    def test_gc_scrubs_damage_from_the_store(self, tmp_path, reference):
+        root = self._cold_store(tmp_path, reference)
+        corrupt_store_segment(root, mode="garble")
+        summary = ResultStore(root).gc()
+        assert summary["live"] == 11  # the garbled record is gone
+        assert summary["removed_segments"] == 1
+        stats = ResultStore(root).stats()
+        assert stats["segments"] == 1
+        assert stats["live"] == 11 and stats["skipped"] == 0
+
+
+class TestConcurrentWriters:
+    """Two stores appending to one root never clobber each other."""
+
+    def test_interleaved_writers_and_gc_keep_every_record(
+            self, tmp_path, reference):
+        root = tmp_path / "store"
+        cold = make_campaign()
+        cold.run(workers=1, collect_metrics=True)
+        fingerprints = [spec.fingerprint()
+                        for spec in make_campaign().cells()]
+        writer_a = ResultStore(root)
+        writer_b = ResultStore(root)
+        for i, (fp, result) in enumerate(zip(fingerprints,
+                                             cold.results)):
+            (writer_a if i % 2 == 0 else writer_b).put(fp, result)
+        writer_a.close()
+        writer_b.close()
+        stats = ResultStore(root).stats()
+        assert stats["segments"] == 2  # private segment per writer
+        assert stats["records"] == 12 and stats["live"] == 12
+        # The merged store warms a campaign without executing a cell.
+        injector = ChaosInjector(
+            always_fail=set(reference["seeds"]))
+        with pytest.MonkeyPatch.context() as mp:
+            injector.install(mp)
+            warm = make_campaign()
+            warm.run(workers=1, collect_metrics=True,
+                     store=ResultStore(root))
+        assert injector.calls == {}
+        assert serialized(warm) == reference["results"]
+        assert json.dumps(warm.merged_metrics(), sort_keys=True) \
+            == reference["metrics"]
+        assert counters(warm)["campaign.cache_hits"] == 12
+        # Compaction folds both writers' segments into one, losslessly.
+        summary = ResultStore(root).gc()
+        assert summary == {"live": 12, "removed_segments": 2,
+                           "dropped": 0}
+        with pytest.MonkeyPatch.context() as mp:
+            injector.install(mp)
+            again = make_campaign()
+            again.run(workers=1, collect_metrics=True,
+                      store=ResultStore(root))
+        assert serialized(again) == reference["results"]

@@ -102,6 +102,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["lint", "--format", "xml"])
 
+    def test_campaign_fabric_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--shards", "4", "--store", "cache-dir"])
+        assert args.shards == 4
+        assert args.store == "cache-dir"
+        defaults = build_parser().parse_args(["campaign"])
+        assert defaults.shards is None and defaults.store is None
+
+    def test_cache_options(self):
+        args = build_parser().parse_args(
+            ["cache", "stats", "--store", "cache-dir"])
+        assert args.cache_command == "stats"
+        assert args.store == "cache-dir"
+        assert build_parser().parse_args(
+            ["cache", "gc", "--store", "d"]).cache_command == "gc"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])  # --store required
+
     def test_scenario_rejects_unknown_env_and_tool(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario", "run", "--env",
@@ -185,6 +205,51 @@ class TestCommands:
         assert "--resume requires --checkpoint" \
             in capsys.readouterr().out
 
+    def test_campaign_shards_and_workers_conflict(self, capsys):
+        assert main(["campaign", "--shards", "2", "--workers", "4"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_campaign_store_cold_then_warm(self, capsys, tmp_path):
+        store = tmp_path / "cache"
+        base = ["--count", "3", "campaign", "--rtts", "20", "--tools",
+                "ping", "--store", str(store)]
+        assert main(base) == 0
+        assert "store cache: 0 hit(s), 1 miss(es)" \
+            in capsys.readouterr().out
+        assert main(base) == 0
+        assert "store cache: 1 hit(s), 0 miss(es)" \
+            in capsys.readouterr().out
+
+    def test_campaign_sharded_run_reports_shards(self, capsys):
+        assert main(["--count", "3", "campaign", "--rtts", "20",
+                     "--tools", "ping", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 1 dispatched, 0 stolen" in out
+        assert "finished" in out
+
+    def test_campaign_quarantined_cells_exit_nonzero(self, capsys,
+                                                     monkeypatch):
+        from tests.chaos import ChaosInjector
+        # The single grid cell has seed 0 (base seed 0, index 0).
+        ChaosInjector(always_fail={0}).install(monkeypatch)
+        assert main(["--count", "3", "campaign", "--rtts", "20",
+                     "--tools", "ping", "--retries", "1"]) == 1
+        assert "Quarantined cells" in capsys.readouterr().out
+
+    def test_cache_stats_and_gc(self, capsys, tmp_path):
+        store = tmp_path / "cache"
+        assert main(["--count", "3", "campaign", "--rtts", "20",
+                     "--tools", "ping", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 live cell(s)" in out
+        assert "1 record(s) in 1 segment(s)" in out
+        assert main(["cache", "gc", "--store", str(store)]) == 0
+        assert "gc: kept 1 live cell(s), removed 1 segment(s), " \
+            "dropped 0 stale or superseded record(s)" \
+            in capsys.readouterr().out
+
     def test_scenario_list(self, capsys):
         assert main(["scenario", "list"]) == 0
         out = capsys.readouterr().out
@@ -211,7 +276,7 @@ class TestCommands:
         doc = json.loads(capsys.readouterr().out)
         assert {row["rule"] for row in doc["findings"]} == {
             "RL001", "RL002", "RL101", "RL102", "RL103", "RL104",
-            "RL105", "RL106", "RL201", "RL202", "RL203",
+            "RL105", "RL106", "RL107", "RL201", "RL202", "RL203",
         }
 
     def test_lint_update_baseline_round_trip(self, capsys, tmp_path):
@@ -222,7 +287,7 @@ class TestCommands:
         assert main(["lint", str(FIXTURE), "--baseline",
                      str(baseline)]) == 0
         out = capsys.readouterr().out
-        assert "lint clean" in out and "17 baselined" in out
+        assert "lint clean" in out and "19 baselined" in out
 
     def test_lint_update_baseline_requires_path(self, capsys):
         assert main(["lint", str(FIXTURE), "--update-baseline"]) == 2

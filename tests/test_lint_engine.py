@@ -40,6 +40,8 @@ FIXTURE_EXPECTED = [
     (41, "RL104"),  # json.dump() into a checkpoint handle
     (46, "RL105"),  # sim._heap access outside the scheduler core
     (47, "RL105"),  # sim._wheel_cursor access outside the scheduler core
+    (51, "RL107"),  # open() on a store path outside the home modules
+    (52, "RL107"),  # .read_text() on a segment path
 ]
 
 
@@ -209,7 +211,8 @@ class TestRegistryAndScoping:
     def test_builtin_rule_ids(self):
         assert set(RULES) == {"RL001", "RL002", "RL101", "RL102",
                               "RL103", "RL104", "RL105", "RL106",
-                              "RL201", "RL202", "RL203", "RL301"}
+                              "RL107", "RL201", "RL202", "RL203",
+                              "RL301"}
 
     def test_logical_parts_anchor_on_repro(self):
         assert logical_parts("/x/src/repro/sim/rng.py") == ("sim", "rng.py")

@@ -63,6 +63,10 @@ _SEED_BASELINE = {
     # measured rate on the reference container so the >10% gate tracks
     # real regressions rather than machine noise.
     "decomposition_cells_per_sec": 8.0,
+    # First recorded on PR 8 with the result store: the ISSUE's floor,
+    # far under the measured ratio, so the gate trips on a store that
+    # stopped short-circuiting execution rather than on timer noise.
+    "cache_warm_speedup": 10.0,
 }
 
 _rates = {}
@@ -373,6 +377,95 @@ def test_smoke_checkpoint_overhead(tmp_path):
 
 
 @pytest.mark.perf_smoke
+def test_smoke_store_lookup_overhead(tmp_path):
+    """Consulting the result store must stay a sliver of cell cost.
+
+    A store-backed cold run (docs/FABRIC.md) adds exactly one unit of
+    work per cell: hash the spec's canonical JSON, miss the cache, and
+    append the finished record to the writer segment plus one index
+    line.  Best-of-3 timing of that unit over 200 distinct specs,
+    expressed as a percentage of the per-cell execution time measured
+    by ``test_smoke_campaign_cell_rate`` — the same methodology as the
+    checkpoint gate above, and the same 3% budget: the gate only trips
+    if the store grows real per-cell work (an fsync on the default
+    path, a full segment rescan per miss, double hashing).
+    """
+    from repro.testbed.scenario import ScenarioSpec
+    from repro.testbed.store import ResultStore
+
+    campaign = Campaign(phones=("nexus5",), rtts=(0.02,),
+                        tools=("ping",), count=3)
+    campaign.run(workers=1)
+    (result,) = campaign.results
+
+    specs = [ScenarioSpec(env="wifi", phone="nexus5", tool="ping",
+                          emulated_rtt=0.02, count=3, seed=index * 7919)
+             for index in range(200)]
+
+    def cold_units(store):
+        def run():
+            for spec in specs:
+                fingerprint = spec.fingerprint()
+                assert store.get(fingerprint) is None
+                store.put(fingerprint, result)
+
+        return run
+
+    best = 0.0
+    for attempt in range(3):
+        with ResultStore(tmp_path / f"store-{attempt}") as store:
+            best = max(best, _rate(len(specs), cold_units(store)))
+    per_cell_seconds = 1.0 / best
+    cells_per_sec = _rates["campaign_cells_per_sec"]
+    overhead = per_cell_seconds * cells_per_sec * 100.0
+    _rates["store_lookup_overhead_pct"] = overhead
+    assert overhead <= 3.0
+
+
+@pytest.mark.perf_smoke
+def test_smoke_cache_warm_speedup(tmp_path):
+    """A cache-warm campaign must beat its cold twin by >=10x.
+
+    The headline number of the result store: a 50-cell sweep runs cold
+    into an empty store, then a fresh campaign over the same grid runs
+    warm out of it.  The warm run executes zero cells — its cost is
+    hashing 50 specs and deserialising 50 cached payloads — so the
+    ratio is the store's reason to exist, tracked in the perf
+    trajectory and gated against ``seed_baseline`` like the other
+    headline metrics.
+    """
+    from repro.testbed.store import ResultStore
+
+    grid = dict(phones=("nexus5",),
+                rtts=tuple(0.01 + 0.002 * index for index in range(25)),
+                tools=("ping", "acutemon"), count=1)
+    root = tmp_path / "store"
+
+    cold = Campaign(**grid)
+    start = time.perf_counter()
+    cold.run(workers=1, store=ResultStore(root))
+    cold_seconds = time.perf_counter() - start
+    assert len(cold.results) == 50
+
+    warm = Campaign(**grid)
+    start = time.perf_counter()
+    warm.run(workers=1, store=ResultStore(root))
+    warm_seconds = time.perf_counter() - start
+    assert len(warm.results) == 50
+    assert [r.to_dict() for r in warm.results] \
+        == [r.to_dict() for r in cold.results]
+    stats = {metric["name"]: metric["value"]
+             for metric in warm.run_metrics["metrics"]}
+    assert stats["campaign.cache_hits"] == 50
+    assert stats.get("campaign.cells_run", 0) == 0
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 \
+        else float("inf")
+    _rates["cache_warm_speedup"] = speedup
+    assert speedup >= 10.0
+
+
+@pytest.mark.perf_smoke
 def test_smoke_lint_full_repo_under_budget():
     """A full-repo ``repro lint`` run must stay under 5 seconds.
 
@@ -406,6 +499,8 @@ def test_smoke_emits_bench_json():
                            "obs_disabled_overhead_pct",
                            "sketch_observe_overhead_pct",
                            "checkpoint_overhead_pct",
+                           "store_lookup_overhead_pct",
+                           "cache_warm_speedup",
                            "lint_full_repo_seconds"}
     payload = {key: round(value, 1) for key, value in sorted(_rates.items())}
     payload["seed_baseline"] = _SEED_BASELINE
@@ -416,6 +511,8 @@ def test_smoke_emits_bench_json():
         "campaign_cells": _CAMPAIGN_CELLS,
         "decomposition_cells": _DECOMPOSITION_CELLS,
         "sketch_observations": _SKETCH_OBSERVATIONS,
+        "store_probe_specs": 200,
+        "cache_warm_cells": 50,
     }
     _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
                            encoding="utf-8")
