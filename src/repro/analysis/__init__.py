@@ -1,5 +1,8 @@
 """Statistics and report rendering for the reproduced experiments.
 
+* :mod:`repro.analysis.analytic` — closed-form PSM/TWT/predictive-sleep
+  delay and throughput predictors the simulator is cross-validated
+  against (``docs/ANALYTIC.md``),
 * :mod:`repro.analysis.stats` — means with 95% confidence intervals
   (the format of the paper's Tables 2 and 5) and summary statistics,
 * :mod:`repro.analysis.boxstats` — box-and-whisker statistics exactly as
@@ -12,6 +15,18 @@
   every benchmark prints the same rows/series the paper reports.
 """
 
+from repro.analysis.analytic import (
+    AnalyticError,
+    predict_for_profile,
+    predictive_delay_bound,
+    predictive_wake_bound,
+    psm_mean_beacon_wait,
+    psm_mean_delay,
+    saturation_throughput,
+    twt_drift_bound,
+    twt_mean_delay,
+    twt_wake_error_bound,
+)
 from repro.analysis.boxstats import BoxStats
 from repro.analysis.cdf import Cdf
 from repro.analysis.compare import dominates, ks_statistic, ks_test, median_shift
@@ -29,6 +44,7 @@ from repro.analysis.stats import SummaryStats, mean_ci
 from repro.analysis.timeline import ProbeTimeline, probe_timeline
 
 __all__ = [
+    "AnalyticError",
     "BoxStats",
     "Cdf",
     "DecompositionReport",
@@ -48,6 +64,15 @@ __all__ = [
     "Table",
     "mean_ci",
     "probe_timeline",
+    "predict_for_profile",
+    "predictive_delay_bound",
+    "predictive_wake_bound",
+    "psm_mean_beacon_wait",
+    "psm_mean_delay",
     "render_boxplot_row",
     "render_cdf",
+    "saturation_throughput",
+    "twt_drift_bound",
+    "twt_mean_delay",
+    "twt_wake_error_bound",
 ]

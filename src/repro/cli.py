@@ -350,6 +350,39 @@ def cmd_lint(args):
     return result.exit_code
 
 
+def cmd_analytic(args):
+    from repro.analysis.analytic import predict_for_profile
+    from repro.sim.units import tu
+
+    prediction = predict_for_profile(
+        args.phone,
+        beacon_interval=tu(args.beacon_interval_tu),
+        offered_load=args.load,
+        base_rtt=args.rtt * 1e-3,
+        listen_interval=args.listen_interval,
+    )
+    print(f"Closed-form PSM predictions for {prediction['phone']} "
+          "(docs/ANALYTIC.md)")
+    table = Table(["Quantity", "Value"], title=None)
+    rows = (
+        ("beacon interval", f"{prediction['beacon_interval'] * 1e3:.1f}ms"),
+        ("listen interval L", prediction["listen_interval"]),
+        ("offered load", f"{prediction['offered_load']:g}/s"),
+        ("Tip (PSM timeout)", f"{prediction['tip'] * 1e3:.0f}ms"),
+        ("Tis (bus idle)", f"{prediction['tis'] * 1e3:.0f}ms"),
+        ("Tprom (bus wake)", f"{prediction['tprom'] * 1e3:.1f}ms"),
+        ("listen period", f"{prediction['psm_listen_period'] * 1e3:.1f}ms"),
+        ("mean beacon wait",
+         f"{prediction['psm_mean_beacon_wait'] * 1e3:.1f}ms"),
+        ("P(dozing)", f"{prediction['psm_doze_probability']:.3f}"),
+        ("P(bus asleep)", f"{prediction['bus_sleep_probability']:.3f}"),
+        ("mean delay E[du]", f"{prediction['psm_mean_delay'] * 1e3:.1f}ms"),
+    )
+    for label, value in rows:
+        table.add_row(label, value)
+    print(table)
+
+
 def cmd_phones(_args):
     table = Table(["Key", "Model", "WNIC", "Tis", "Tip", "L assoc"],
                   title="Phone profiles (Table 1 + Table 4)")
@@ -378,6 +411,8 @@ COMMANDS = {
     "scenario": (cmd_scenario, "run one declarative scenario, or list "
                                "the registries"),
     "obs": (cmd_obs, "run one observed cell and export its metrics"),
+    "analytic": (cmd_analytic, "closed-form PSM delay predictions for a "
+                               "phone profile (docs/ANALYTIC.md)"),
     "phones": (cmd_phones, "list the modelled phone profiles"),
     "lint": (cmd_lint, "static-analysis engine: determinism, obs-guard, "
                        "API and registry contracts (docs/STATIC_ANALYSIS.md)"),
@@ -415,6 +450,23 @@ def build_parser():
             cmd.add_argument("--out", default=None, metavar="PREFIX",
                              help="write PREFIX.prom, PREFIX.jsonl and "
                                   "PREFIX.trace.json")
+        if name == "analytic":
+            cmd.add_argument("--phone", default="nexus5",
+                             choices=sorted(PHONES))
+            cmd.add_argument("--rtt", type=float, default=0.0,
+                             help="base (wired + awake-path) RTT in ms "
+                                  "(default 0)")
+            cmd.add_argument("--load", type=float, default=0.0,
+                             help="offered probe load in arrivals/s "
+                                  "(default 0 = always idle)")
+            cmd.add_argument("--listen-interval", type=int, default=None,
+                             metavar="L",
+                             help="listen interval override (default: the "
+                                  "profile's actual value)")
+            cmd.add_argument("--beacon-interval-tu", type=int, default=100,
+                             metavar="TU",
+                             help="AP beacon interval in Time Units "
+                                  "(default 100 = 102.4 ms)")
         if name == "scenario":
             scenario_sub = cmd.add_subparsers(dest="scenario_command",
                                               required=True)

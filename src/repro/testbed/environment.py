@@ -47,10 +47,27 @@ CAP_PSM = "psm"
 CAP_SNIFFERS = "sniffers"
 #: An RRC state machine (promotions/demotions) sits below the kernel.
 CAP_RRC = "rrc"
+#: Stations sleep on a negotiated TWT service-period schedule.
+CAP_TWT = "twt"
+#: Stations wake on predicted downlink arrivals (EAPS-style).
+CAP_PREDICTIVE_SLEEP = "predictive-sleep"
+
+#: Every capability tag an environment may declare.  Registration
+#: rejects anything outside this set — a typoed tag would otherwise
+#: silently disable the scenario knob it was meant to enable.
+KNOWN_CAPABILITIES = frozenset({
+    CAP_CROSS_TRAFFIC, CAP_BUS_SLEEP, CAP_PSM, CAP_SNIFFERS, CAP_RRC,
+    CAP_TWT, CAP_PREDICTIVE_SLEEP,
+})
 
 WIFI_CAPABILITIES = frozenset(
     {CAP_CROSS_TRAFFIC, CAP_BUS_SLEEP, CAP_PSM, CAP_SNIFFERS})
 CELLULAR_CAPABILITIES = frozenset({CAP_RRC})
+TWT_CAPABILITIES = frozenset(
+    {CAP_CROSS_TRAFFIC, CAP_BUS_SLEEP, CAP_SNIFFERS, CAP_TWT})
+PREDICTIVE_SLEEP_CAPABILITIES = frozenset(
+    {CAP_CROSS_TRAFFIC, CAP_BUS_SLEEP, CAP_SNIFFERS,
+     CAP_PREDICTIVE_SLEEP})
 
 
 class WiredCore:
@@ -207,7 +224,23 @@ def register_environment(key, builder, description="",
     Re-registering a key replaces the entry (useful for tests and
     downstream extensions).  Returns the builder so it can be used as a
     decorator.
+
+    ``capabilities`` must be tags from :data:`KNOWN_CAPABILITIES`, each
+    at most once — unknown or duplicated tags raise ``ValueError``
+    instead of registering an environment whose scenario knobs silently
+    never match.
     """
+    tags = list(capabilities)
+    duplicates = sorted({tag for tag in tags if tags.count(tag) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate capability tags for environment {key!r}: "
+            f"{duplicates}")
+    unknown = sorted(set(tags) - KNOWN_CAPABILITIES)
+    if unknown:
+        raise ValueError(
+            f"unknown capability tags for environment {key!r}: {unknown}; "
+            f"known: {sorted(KNOWN_CAPABILITIES)}")
     ENVIRONMENTS[key] = EnvironmentEntry(key, builder, description,
                                          capabilities)
     return builder
@@ -251,6 +284,19 @@ def _build_wifi(seed=0, emulated_rtt=0.0, **env_params):
     return Testbed(seed=seed, emulated_rtt=emulated_rtt, **env_params)
 
 
+def _build_twt(seed=0, emulated_rtt=0.0, **env_params):
+    from repro.testbed.powersave import TwtTestbed
+
+    return TwtTestbed(seed=seed, emulated_rtt=emulated_rtt, **env_params)
+
+
+def _build_predictive_sleep(seed=0, emulated_rtt=0.0, **env_params):
+    from repro.testbed.powersave import PredictiveSleepTestbed
+
+    return PredictiveSleepTestbed(seed=seed, emulated_rtt=emulated_rtt,
+                                  **env_params)
+
+
 def _cellular_builder(rrc_preset):
     def build(seed=0, emulated_rtt=0.0, rrc_config=None, **env_params):
         from repro.cellular.rrc import RrcConfig
@@ -273,6 +319,20 @@ register_environment(
     description="Figure 2 WLAN: DCF channel, AP with adaptive PSM, "
                 "SDIO bus-sleep phones, three monitor-mode sniffers",
     capabilities=WIFI_CAPABILITIES,
+)
+register_environment(
+    "wifi-twt", _build_twt,
+    description="The WLAN with TWT-scheduled phones: service-period "
+                "wakes on a drifting local clock, beacon resyncs, "
+                "missed-SP recovery (802.11ax-flavoured)",
+    capabilities=TWT_CAPABILITIES,
+)
+register_environment(
+    "wifi-predictive-sleep", _build_predictive_sleep,
+    description="The WLAN with predictive-sleep phones: EAPS-style "
+                "EWMA wake prediction, mispredict penalty path, "
+                "hard fallback-timeout wake cap",
+    capabilities=PREDICTIVE_SLEEP_CAPABILITIES,
 )
 register_environment(
     "cellular-3g", _cellular_builder("umts_3g"),

@@ -1,0 +1,109 @@
+"""WiFi testbeds running the experimental power-save machines.
+
+Two :class:`~repro.testbed.topology.Testbed` variants that swap the
+phone's MAC state machine via the :class:`~repro.phone.phone.Phone`
+``sta_factory`` hook while keeping everything else — AP, wired core,
+sniffers, cross traffic — identical to the ``"wifi"`` environment, so
+a campaign grid can sweep power-save *strategies* the way it sweeps
+phones and RTTs:
+
+* :class:`TwtTestbed` (``"wifi-twt"``): phones wake on a negotiated
+  TWT service-period schedule with bounded clock drift
+  (:class:`~repro.wifi.twt.TwtStation`),
+* :class:`PredictiveSleepTestbed` (``"wifi-predictive-sleep"``):
+  phones wake on EAPS-style predicted downlink arrivals with a
+  fallback-timeout safety rail
+  (:class:`~repro.wifi.predictive.PredictiveSleepStation`).
+
+Machine parameters are testbed-level knobs (plain JSON scalars) so
+``ScenarioSpec(env_params={...})`` can sweep them; a per-phone override
+is available through ``attach_phone(twt=...)`` / ``attach_phone(
+predictor=...)``.
+"""
+
+from repro.testbed.environment import (
+    PREDICTIVE_SLEEP_CAPABILITIES,
+    TWT_CAPABILITIES,
+)
+from repro.testbed.topology import PHONE_IP, Testbed
+from repro.wifi.predictive import PredictiveSleepConfig, PredictiveSleepStation
+from repro.wifi.twt import TwtConfig, TwtStation
+
+
+class TwtTestbed(Testbed):
+    """The WiFi testbed with TWT-scheduled phones (``"wifi-twt"``)."""
+
+    key = "wifi-twt"
+    capabilities = TWT_CAPABILITIES
+
+    def __init__(self, seed=0, emulated_rtt=0.0, sp_interval=0.5,
+                 sp_duration=0.02, twt_guard=2e-3, drift_rate=20e-6,
+                 resync_fraction=0.5, **kwargs):
+        self.twt = TwtConfig(
+            sp_interval=sp_interval, sp_duration=sp_duration,
+            guard=twt_guard, drift_rate=drift_rate,
+            resync_fraction=resync_fraction,
+        )
+        super().__init__(seed=seed, emulated_rtt=emulated_rtt, **kwargs)
+
+    def add_phone(self, profile="nexus5", phone_ip=PHONE_IP, twt=None,
+                  **phone_kwargs):
+        agreement = twt if twt is not None else self.twt
+
+        def factory(sim, channel, mac, psm=None, rng=None, name="twt-sta"):
+            return TwtStation(sim, channel, mac, psm=psm, rng=rng,
+                              twt=agreement, name=name)
+
+        phone_kwargs.setdefault("sta_factory", factory)
+        return super().add_phone(profile=profile, phone_ip=phone_ip,
+                                 **phone_kwargs)
+
+    attach_phone = add_phone
+
+    def __repr__(self):
+        return (f"<TwtTestbed t={self.sim.now:.3f}s "
+                f"phones={len(self.phones)} "
+                f"sp={self.twt.sp_interval * 1e3:.0f}ms "
+                f"drift={self.twt.drift_rate * 1e6:+.0f}ppm>")
+
+
+class PredictiveSleepTestbed(Testbed):
+    """The WiFi testbed with predictive-sleep phones
+    (``"wifi-predictive-sleep"``)."""
+
+    key = "wifi-predictive-sleep"
+    capabilities = PREDICTIVE_SLEEP_CAPABILITIES
+
+    def __init__(self, seed=0, emulated_rtt=0.0, ewma_alpha=0.3,
+                 wake_guard=5e-3, fallback_timeout=0.4,
+                 listen_window=0.02, initial_interval=0.2,
+                 penalty_backoff=1.5, **kwargs):
+        self.predictor = PredictiveSleepConfig(
+            ewma_alpha=ewma_alpha, guard=wake_guard,
+            fallback_timeout=fallback_timeout,
+            listen_window=listen_window,
+            initial_interval=initial_interval,
+            penalty_backoff=penalty_backoff,
+        )
+        super().__init__(seed=seed, emulated_rtt=emulated_rtt, **kwargs)
+
+    def add_phone(self, profile="nexus5", phone_ip=PHONE_IP,
+                  predictor=None, **phone_kwargs):
+        config = predictor if predictor is not None else self.predictor
+
+        def factory(sim, channel, mac, psm=None, rng=None,
+                    name="pred-sta"):
+            return PredictiveSleepStation(sim, channel, mac, psm=psm,
+                                          rng=rng, predictor=config,
+                                          name=name)
+
+        phone_kwargs.setdefault("sta_factory", factory)
+        return super().add_phone(profile=profile, phone_ip=phone_ip,
+                                 **phone_kwargs)
+
+    attach_phone = add_phone
+
+    def __repr__(self):
+        return (f"<PredictiveSleepTestbed t={self.sim.now:.3f}s "
+                f"phones={len(self.phones)} "
+                f"fallback={self.predictor.fallback_timeout * 1e3:.0f}ms>")

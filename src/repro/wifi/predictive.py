@@ -1,0 +1,206 @@
+"""EAPS-style predictive sleep: wake when the next downlink is due.
+
+Edge-assisted predictive sleep turns the paper's reactive adaptive PSM
+inside out: instead of dozing until a TIM beacon says traffic waits,
+the station *predicts* the next downlink arrival from the observed
+inter-arrival process (an EWMA here), dozes, and wakes ``guard``
+seconds before the predicted time — announcing itself with a PM=0 null
+so the AP flushes immediately, no beacon wait at all when the
+prediction lands.
+
+Two safety rails keep a bad predictor from starving traffic:
+
+* the **fallback timeout** caps every doze: the station never sleeps
+  past ``doze_start + fallback_timeout`` no matter what the predictor
+  says — the invariant the property suite pins, and the delay bound of
+  :func:`repro.analysis.analytic.predictive_wake_bound`;
+* a **mispredict penalty path**: a wake whose listen window sees no
+  downlink counts as a mispredict, widens the predicted interval by
+  ``penalty_backoff``, and re-dozes — so a misfiring predictor decays
+  toward the fallback cadence instead of burning the radio.
+
+Every doze cycle is appended to :attr:`PredictiveSleepStation.wake_log`
+(doze start, predicted arrival, wake time, deadline) for the harness.
+"""
+
+import math
+
+from repro.obs.names import (
+    PREDICTIVE_MISPREDICTS_TOTAL,
+    PREDICTIVE_WAKES_TOTAL,
+    SPAN_PREDICTIVE_LISTEN,
+)
+from repro.sim.timers import Timer
+from repro.sim.units import tu
+from repro.wifi.frames import DataFrame, NullDataFrame
+from repro.wifi.sta import PowerState, Station
+
+
+class PredictiveSleepConfig:
+    """Predictor and safety-rail parameters.
+
+    ``ewma_alpha`` weights the newest inter-arrival sample;
+    ``initial_interval`` seeds the predictor before any downlink is
+    seen; ``listen_window`` is how long a wake waits for the predicted
+    frame before declaring a mispredict.
+    """
+
+    def __init__(self, ewma_alpha=0.3, guard=5e-3, fallback_timeout=0.4,
+                 listen_window=0.02, initial_interval=0.2,
+                 penalty_backoff=1.5):
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if guard < 0:
+            raise ValueError("guard must be >= 0")
+        if fallback_timeout <= 0:
+            raise ValueError("fallback_timeout must be positive")
+        if listen_window <= 0:
+            raise ValueError("listen_window must be positive")
+        if initial_interval <= 0:
+            raise ValueError("initial_interval must be positive")
+        if penalty_backoff < 1.0:
+            raise ValueError("penalty_backoff must be >= 1")
+        self.ewma_alpha = ewma_alpha
+        self.guard = guard
+        self.fallback_timeout = fallback_timeout
+        self.listen_window = listen_window
+        self.initial_interval = initial_interval
+        self.penalty_backoff = penalty_backoff
+
+
+class PredictiveWake:
+    """One doze cycle of :attr:`PredictiveSleepStation.wake_log`.
+
+    ``wake_at <= deadline`` always — the fallback-cap invariant.
+    """
+
+    __slots__ = ("doze_start", "predicted", "wake_at", "deadline",
+                 "reason")
+
+    def __init__(self, doze_start, predicted, wake_at, deadline, reason):
+        self.doze_start = doze_start
+        self.predicted = predicted
+        self.wake_at = wake_at
+        self.deadline = deadline
+        self.reason = reason
+
+    def __repr__(self):
+        return (f"<PredictiveWake doze={self.doze_start:.3f} "
+                f"wake={self.wake_at:.3f} ({self.reason})>")
+
+
+class PredictiveSleepStation(Station):
+    """A station that wakes on predicted downlink arrivals."""
+
+    def __init__(self, sim, channel, mac, psm=None, rng=None,
+                 predictor=None, name="pred-sta"):
+        super().__init__(sim, channel, mac, psm=psm, rng=rng, name=name)
+        self.predictor = (predictor if predictor is not None
+                          else PredictiveSleepConfig())
+        self.wake_log = []
+        self.mispredict_count = 0
+        self.predicted_interval = self.predictor.initial_interval
+        self._last_downlink = None
+        self._wake_timer = Timer(sim, self._predictive_wake_due,
+                                 label=f"pred-wake:{name}")
+        self._wake_reason = None
+        self._listen_started = None
+        self._downlink_since_wake = False
+
+    # -- the predictor ----------------------------------------------------
+
+    def frame_delivered(self, frame):
+        if isinstance(frame, DataFrame) and frame.dst_mac == self.mac:
+            now = self.sim.now
+            if self._last_downlink is not None:
+                gap = now - self._last_downlink
+                alpha = self.predictor.ewma_alpha
+                # Floor keeps the predictor away from a zero interval
+                # (back-to-back deliveries at one sim instant).
+                self.predicted_interval = max(
+                    1e-4,
+                    alpha * gap + (1.0 - alpha) * self.predicted_interval)
+            self._last_downlink = now
+            self._downlink_since_wake = True
+        super().frame_delivered(frame)
+
+    # -- overrides: prediction replaces the TBTT chase --------------------
+
+    def _arm_psm_timer(self):
+        """A short listen window plays the role of ``Tip``: once the
+        predicted frame (or its burst) has passed, go back to sleep."""
+        if not (self.psm.enabled and self.associated):
+            return
+        self._psm_timer.restart(self.predictor.listen_window)
+
+    def _schedule_beacon_listen(self):
+        """Entering doze: wake at the predicted arrival, capped by the
+        fallback timeout — never later."""
+        self._beacon_wait_start = self.sim.now
+        self._finish_listen_span()
+        doze_start = self.sim.now
+        cfg = self.predictor
+        anchor = (self._last_downlink if self._last_downlink is not None
+                  else doze_start)
+        predicted = anchor + self.predicted_interval
+        if predicted <= doze_start:
+            steps = math.floor((doze_start - anchor)
+                               / self.predicted_interval) + 1
+            predicted = anchor + steps * self.predicted_interval
+        deadline = doze_start + cfg.fallback_timeout
+        wake_at = min(predicted - cfg.guard, deadline)
+        wake_at = max(wake_at, doze_start)
+        reason = "predicted" if wake_at < deadline else "fallback"
+        self.wake_log.append(PredictiveWake(doze_start, predicted,
+                                            wake_at, deadline, reason))
+        self._wake_reason = reason
+        self._wake_timer.restart(wake_at - doze_start)
+
+    def _cancel_beacon_listen(self):
+        super()._cancel_beacon_listen()
+        self._wake_timer.cancel()
+
+    def _predictive_wake_due(self):
+        if self.power_state != PowerState.DOZE:
+            return
+        reason = self._wake_reason or "fallback"
+        sim = self.sim
+        if sim.metrics.enabled:
+            sim.metrics.inc(PREDICTIVE_WAKES_TOTAL,
+                            labels={"sta": self.name, "reason": reason})
+        self._listen_started = sim.now
+        self._downlink_since_wake = False
+        self._wake(reason)
+        # Announce the wake: PM=0 flushes whatever the AP buffered.
+        self.null_frames_sent += 1
+        self.enqueue_frame(NullDataFrame(self.ap.mac, self.mac, pm=False))
+
+    def _enter_doze(self):
+        if self.power_state != PowerState.DOZE \
+                and self._listen_started is not None \
+                and not self._downlink_since_wake:
+            # The predicted frame never came: penalty path.
+            self.mispredict_count += 1
+            if self.sim.metrics.enabled:
+                self.sim.metrics.inc(PREDICTIVE_MISPREDICTS_TOTAL,
+                                     labels={"sta": self.name})
+            self.predicted_interval *= self.predictor.penalty_backoff
+        super()._enter_doze()
+
+    def _finish_listen_span(self):
+        if self._listen_started is not None:
+            if self.sim.spans.enabled:
+                self.sim.spans.record(
+                    SPAN_PREDICTIVE_LISTEN, self._listen_started,
+                    self.sim.now, sta=self.name,
+                    hit=self._downlink_since_wake)
+            self._listen_started = None
+
+    def _handle_beacon(self, beacon):
+        # Beacons only update the interval bookkeeping; the TIM is
+        # ignored — the predictor decides when to fetch.
+        self._beacon_interval = tu(beacon.beacon_interval_tu)
+
+    def __repr__(self):
+        return (f"<PredictiveSleepStation {self.name} {self.power_state} "
+                f"pred={self.predicted_interval * 1e3:.0f}ms>")

@@ -1,0 +1,258 @@
+"""Target Wake Time (TWT) station: scheduled wakes with clock drift.
+
+An 802.11ax-flavoured alternative to the paper's adaptive PSM: instead
+of chasing TIM beacons, the station negotiates a service-period (SP)
+schedule at association — wake every ``sp_interval`` seconds, stay
+awake ``sp_duration`` — and sleeps through everything in between.  The
+AP needs no TWT awareness: the station announces each wake with a
+PM=0 null frame (flushing anything buffered for it) and re-announces
+sleep with PM=1, exactly the adaptive-PSM signalling of
+:class:`~repro.wifi.sta.Station`.
+
+The interesting part is the clock.  The station schedules wakes on its
+*local* oscillator, which runs at ``(1 + drift_rate)`` times true rate;
+between resyncs the wake error grows linearly, ``drift_rate *
+(t - last_resync)`` (Bankov et al.'s model, mirrored in
+:func:`repro.analysis.analytic.twt_drift_bound`).  The machine:
+
+* wakes ``guard`` seconds early so bounded error still lands inside
+  the window,
+* proactively resyncs on a beacon once the projected error exceeds
+  ``resync_fraction * guard`` — a one-beacon listen, not a full wake,
+* declares the SP **missed** when the error would exceed the guard
+  anyway (drift too hot for the schedule) and recovers by waking on the
+  next beacon, resyncing, and serving a recovery SP there.
+
+Every scheduled wake is appended to :attr:`TwtStation.wake_log` with
+its planned time, actual time, signed error, and the resync age the
+error derives from — the raw material of the theory-vs-simulation
+harness (``tests/test_analytic_validation.py``).
+"""
+
+from repro.obs.names import (
+    SPAN_TWT_SERVICE_PERIOD,
+    TWT_MISSED_SPS_TOTAL,
+    TWT_RESYNCS_TOTAL,
+    TWT_WAKES_TOTAL,
+)
+from repro.sim.timers import Timer
+from repro.sim.units import tu
+from repro.wifi.frames import NullDataFrame
+from repro.wifi.sta import PowerState, Station
+
+
+class TwtConfig:
+    """One TWT agreement: schedule, guard, and clock-drift personality.
+
+    ``drift_rate`` is the local clock's fractional frequency error
+    (20 ppm = ``20e-6``; sign is the direction the clock runs fast or
+    slow).  ``guard`` is how early the station opens its wake window;
+    ``resync_fraction`` is the share of the guard the projected error
+    may consume before the station schedules a beacon resync.
+    """
+
+    def __init__(self, sp_interval=0.5, sp_duration=0.02, guard=2e-3,
+                 drift_rate=20e-6, resync_fraction=0.5):
+        if sp_interval <= 0:
+            raise ValueError("sp_interval must be positive")
+        if sp_duration <= 0 or sp_duration >= sp_interval:
+            raise ValueError("sp_duration must be in (0, sp_interval)")
+        if guard <= 0:
+            raise ValueError("guard must be positive")
+        if not 0.0 < resync_fraction <= 1.0:
+            raise ValueError("resync_fraction must be in (0, 1]")
+        self.sp_interval = sp_interval
+        self.sp_duration = sp_duration
+        self.guard = guard
+        self.drift_rate = drift_rate
+        self.resync_fraction = resync_fraction
+
+
+class TwtWake:
+    """One entry of :attr:`TwtStation.wake_log`.
+
+    ``error == drift_rate * resync_age`` exactly; ``actual`` is
+    ``None`` for missed service periods (recovered on a beacon).
+    """
+
+    __slots__ = ("sp_index", "planned", "actual", "error", "resync_age",
+                 "missed")
+
+    def __init__(self, sp_index, planned, actual, error, resync_age,
+                 missed):
+        self.sp_index = sp_index
+        self.planned = planned
+        self.actual = actual
+        self.error = error
+        self.resync_age = resync_age
+        self.missed = missed
+
+    def __repr__(self):
+        flag = " missed" if self.missed else ""
+        return (f"<TwtWake sp={self.sp_index} planned={self.planned:.6f} "
+                f"err={self.error * 1e6:+.1f}us{flag}>")
+
+
+class TwtStation(Station):
+    """A station sleeping on a TWT schedule instead of chasing TIMs."""
+
+    def __init__(self, sim, channel, mac, psm=None, rng=None, twt=None,
+                 name="twt-sta"):
+        super().__init__(sim, channel, mac, psm=psm, rng=rng, name=name)
+        self.twt = twt if twt is not None else TwtConfig()
+        self.wake_log = []
+        self.resync_count = 0
+        self.missed_sp_count = 0
+        self._twt_anchor = None  # true time of SP index 0
+        self._last_resync = None  # true time the local clock last synced
+        self._sp_wake_timer = Timer(sim, self._twt_wake_due,
+                                    label=f"twt-wake:{name}")
+        self._resync_timer = Timer(sim, self._begin_beacon_listen,
+                                   label=f"twt-resync:{name}")
+        self._pending_sp = None  # sp index awaiting a resync beacon
+        self._recovering = False
+        self._sp_started = None
+
+    def associate(self, ap):
+        aid = super().associate(ap)
+        # The agreement anchors at association; the clock starts fresh.
+        self._twt_anchor = self.sim.now
+        self._last_resync = self.sim.now
+        return aid
+
+    # -- schedule arithmetic ----------------------------------------------
+
+    def _clock_error(self, when):
+        """Signed local-clock error at true time ``when``."""
+        return self.twt.drift_rate * (when - self._last_resync)
+
+    def _next_sp_index(self):
+        interval = self.twt.sp_interval
+        index = int((self.sim.now - self._twt_anchor) / interval) + 1
+        while self._twt_anchor + index * interval - self.twt.guard \
+                <= self.sim.now:
+            index += 1
+        return index
+
+    def _next_tbtt(self):
+        interval = self._beacon_interval
+        return (int(self.sim.now / interval) + 1) * interval
+
+    # -- overrides: TWT replaces the TBTT chase ---------------------------
+
+    def _arm_psm_timer(self):
+        """The SP-duration timer plays the role of ``Tip``: activity
+        keeps the station awake, silence ends the service period."""
+        if not (self.psm.enabled and self.associated):
+            return
+        self._psm_timer.restart(self.twt.sp_duration)
+
+    def _schedule_beacon_listen(self):
+        """Entering doze: schedule the next service-period wake."""
+        self._beacon_wait_start = self.sim.now
+        if self._sp_started is not None:
+            if self.sim.spans.enabled:
+                self.sim.spans.record(SPAN_TWT_SERVICE_PERIOD,
+                                      self._sp_started, self.sim.now,
+                                      sta=self.name)
+            self._sp_started = None
+        self._schedule_next_sp()
+
+    def _cancel_beacon_listen(self):
+        super()._cancel_beacon_listen()
+        self._sp_wake_timer.cancel()
+        self._resync_timer.cancel()
+        self._pending_sp = None
+        self._recovering = False
+
+    def _begin_beacon_listen(self):
+        super()._begin_beacon_listen()
+        # Retry on the next TBTT if this beacon is lost to a collision.
+        self._resync_timer.restart(self._beacon_interval)
+
+    def _schedule_next_sp(self):
+        twt = self.twt
+        index = self._next_sp_index()
+        planned = self._twt_anchor + index * twt.sp_interval - twt.guard
+        projected = abs(self._clock_error(planned))
+        if projected > twt.resync_fraction * twt.guard:
+            # The local clock is stale: listen for one beacon first.
+            listen_at = self._next_tbtt() - self.psm.beacon_guard
+            if listen_at < planned:
+                self._pending_sp = index
+                self._resync_timer.restart(
+                    max(listen_at - self.sim.now, 0.0))
+                return
+            # No beacon fits before the wake; fall through and let the
+            # missed-SP check decide with the clock as it is.
+        self._arm_sp_wake(index, planned)
+
+    def _arm_sp_wake(self, index, planned):
+        error = self._clock_error(planned)
+        resync_age = planned - self._last_resync
+        if abs(error) > self.twt.guard:
+            # Drift ate the whole window: this SP cannot be hit.  Wake
+            # on the next beacon instead, resync there, and serve a
+            # recovery service period.
+            self.missed_sp_count += 1
+            sim = self.sim
+            if sim.metrics.enabled:
+                sim.metrics.inc(TWT_MISSED_SPS_TOTAL,
+                                labels={"sta": self.name})
+            self.wake_log.append(TwtWake(index, planned, None, error,
+                                         resync_age, missed=True))
+            self._recovering = True
+            listen_at = self._next_tbtt() - self.psm.beacon_guard
+            self._resync_timer.restart(max(listen_at - self.sim.now, 0.0))
+            return
+        actual = max(planned + error, self.sim.now)
+        self.wake_log.append(TwtWake(index, planned, actual, error,
+                                     resync_age, missed=False))
+        self._sp_wake_timer.restart(max(actual - self.sim.now, 0.0))
+
+    def _twt_wake_due(self):
+        if self.power_state != PowerState.DOZE:
+            return
+        self._service_period("twt-sp")
+
+    def _service_period(self, reason):
+        sim = self.sim
+        if sim.metrics.enabled:
+            sim.metrics.inc(TWT_WAKES_TOTAL,
+                            labels={"sta": self.name, "reason": reason})
+        self._sp_started = sim.now
+        self._wake(reason)
+        # Announce the wake: PM=0 flushes whatever the AP buffered.
+        self.null_frames_sent += 1
+        self.enqueue_frame(NullDataFrame(self.ap.mac, self.mac, pm=False))
+
+    def _handle_beacon(self, beacon):
+        self._beacon_interval = tu(beacon.beacon_interval_tu)
+        if self.power_state != PowerState.DOZE \
+                or not self._listening_for_beacon:
+            return
+        self._listening_for_beacon = False
+        self._resync_timer.cancel()
+        # The beacon timestamp is the reference clock: resync.
+        self._last_resync = self.sim.now
+        self.resync_count += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.inc(TWT_RESYNCS_TOTAL,
+                                 labels={"sta": self.name})
+        index, self._pending_sp = self._pending_sp, None
+        if self._recovering:
+            self._recovering = False
+            self._service_period("twt-recovery")
+        elif index is not None:
+            planned = (self._twt_anchor + index * self.twt.sp_interval
+                       - self.twt.guard)
+            if planned <= self.sim.now:
+                self._service_period("twt-sp")
+            else:
+                self._arm_sp_wake(index, planned)
+        # TIM bits are ignored: buffered frames wait for the SP.
+
+    def __repr__(self):
+        return (f"<TwtStation {self.name} {self.power_state} "
+                f"sp={self.twt.sp_interval * 1e3:.0f}ms "
+                f"drift={self.twt.drift_rate * 1e6:+.0f}ppm>")

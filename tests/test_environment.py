@@ -6,7 +6,10 @@ from repro.testbed.environment import (
     CAP_RRC,
     CELLULAR_CAPABILITIES,
     ENVIRONMENTS,
+    KNOWN_CAPABILITIES,
+    PREDICTIVE_SLEEP_CAPABILITIES,
     SERVER_IP,
+    TWT_CAPABILITIES,
     WIFI_CAPABILITIES,
     Environment,
     build_environment,
@@ -19,7 +22,8 @@ from repro.testbed.environment import (
 class TestRegistry:
     def test_default_keys(self):
         assert environment_keys() == ["cellular-3g", "cellular-lte",
-                                      "wifi"]
+                                      "wifi", "wifi-predictive-sleep",
+                                      "wifi-twt"]
 
     def test_unknown_key_error_names_known(self):
         with pytest.raises(KeyError, match="wifi"):
@@ -45,10 +49,55 @@ class TestRegistry:
         assert env.key == "custom"
         del ENVIRONMENTS["custom"]
 
+    def test_register_rejects_unknown_capability_tag(self):
+        with pytest.raises(ValueError, match="unknown capability.*warp"):
+            register_environment("bogus", lambda **kw: None,
+                                 capabilities={"warp-drive"})
+        assert "bogus" not in ENVIRONMENTS
+
+    def test_register_rejects_typoed_tag_names_known_set(self):
+        # The error message must list the valid vocabulary so the typo
+        # is a one-glance fix.
+        with pytest.raises(ValueError, match="bus-sleep"):
+            register_environment("bogus", lambda **kw: None,
+                                 capabilities={"bus_sleep"})
+        assert "bogus" not in ENVIRONMENTS
+
+    def test_register_rejects_duplicate_capability_tags(self):
+        with pytest.raises(ValueError, match="duplicate capability.*psm"):
+            register_environment("bogus", lambda **kw: None,
+                                 capabilities=["psm", "sniffers", "psm"])
+        assert "bogus" not in ENVIRONMENTS
+
+    def test_known_capability_vocabulary_pinned(self):
+        assert KNOWN_CAPABILITIES == frozenset({
+            "cross-traffic", "bus-sleep", "psm", "sniffers", "rrc",
+            "twt", "predictive-sleep",
+        })
+
+    def test_full_registry_tag_sets_pinned(self):
+        # Every default environment's declared capabilities, exactly.
+        declared = {key: ENVIRONMENTS[key].capabilities
+                    for key in environment_keys()}
+        assert declared == {
+            "wifi": frozenset({"cross-traffic", "bus-sleep", "psm",
+                               "sniffers"}),
+            "wifi-twt": frozenset({"cross-traffic", "bus-sleep",
+                                   "sniffers", "twt"}),
+            "wifi-predictive-sleep": frozenset(
+                {"cross-traffic", "bus-sleep", "sniffers",
+                 "predictive-sleep"}),
+            "cellular-3g": frozenset({"rrc"}),
+            "cellular-lte": frozenset({"rrc"}),
+        }
+        for capabilities in declared.values():
+            assert capabilities <= KNOWN_CAPABILITIES
+
 
 class TestProtocol:
-    @pytest.mark.parametrize("key", ["wifi", "cellular-3g",
-                                     "cellular-lte"])
+    @pytest.mark.parametrize("key", ["wifi", "wifi-twt",
+                                     "wifi-predictive-sleep",
+                                     "cellular-3g", "cellular-lte"])
     def test_build_and_protocol_surface(self, key):
         env = build_environment(key, seed=0, emulated_rtt=0.02)
         assert isinstance(env, Environment)
@@ -82,6 +131,31 @@ class TestProtocol:
     def test_env_params_forwarded_wifi(self):
         env = build_environment("wifi", seed=0, sniffer_count=1)
         assert len(env.sniffers) == 1
+
+    def test_env_params_forwarded_powersave(self):
+        twt = build_environment("wifi-twt", seed=0, sp_interval=0.25,
+                                drift_rate=100e-6, sniffer_count=0)
+        assert twt.twt.sp_interval == 0.25
+        assert twt.twt.drift_rate == 100e-6
+        pred = build_environment("wifi-predictive-sleep", seed=0,
+                                 fallback_timeout=0.3, sniffer_count=0)
+        assert pred.predictor.fallback_timeout == 0.3
+
+    def test_powersave_phones_get_custom_stations(self):
+        from repro.wifi.predictive import PredictiveSleepStation
+        from repro.wifi.twt import TwtStation
+
+        twt_env = build_environment("wifi-twt", seed=0, sniffer_count=0)
+        assert isinstance(twt_env.attach_phone("nexus5").sta, TwtStation)
+        pred_env = build_environment("wifi-predictive-sleep", seed=0,
+                                     sniffer_count=0)
+        assert isinstance(pred_env.attach_phone("nexus5").sta,
+                          PredictiveSleepStation)
+
+    def test_powersave_class_capabilities_match_registry(self):
+        assert ENVIRONMENTS["wifi-twt"].capabilities == TWT_CAPABILITIES
+        assert ENVIRONMENTS["wifi-predictive-sleep"].capabilities == \
+            PREDICTIVE_SLEEP_CAPABILITIES
 
     def test_env_params_override_rrc_preset(self):
         env = build_environment("cellular-3g", seed=0, t1=2.5)

@@ -346,6 +346,87 @@ class TestAcceptanceMatrix:
         assert stats.get("campaign.shards_planned", 0) == 0
 
 
+# A grid mixing the classic PSM environment with both power-save
+# machines (TWT service periods, EAPS-style predictive sleep): the
+# fabric guarantees must hold for custom-station environments too.
+MIXED_GRID = dict(envs=("wifi", "wifi-twt", "wifi-predictive-sleep"),
+                  phones=("nexus5",),
+                  rtts=tuple(0.01 + 0.01 * i for i in range(8)),
+                  tools=("acutemon", "ping"), count=2, base_seed=31)
+
+
+@pytest.fixture(scope="module")
+def accept_mixed():
+    """Serial reference for the mixed power-save grid."""
+    campaign = Campaign(**MIXED_GRID)
+    campaign.run(workers=1, collect_metrics=True)
+    assert len(campaign.results) == 48
+    assert {result.env for result in campaign.results} \
+        == set(MIXED_GRID["envs"])
+    report = decompose_campaign(campaign)
+    return {
+        "results": serialized(campaign),
+        "metrics": json.dumps(campaign.merged_metrics(), sort_keys=True),
+        "reports": {fmt: render_report(report, fmt)
+                    for fmt in REPORT_FORMATS},
+        "seeds": [result.seed for result in campaign.results],
+    }
+
+
+class TestMixedPowersaveAcceptance:
+    """The acceptance matrix over a grid that includes TWT and
+    predictive-sleep cells: every execution mode must be bit-identical
+    to the serial reference, merged metrics included."""
+
+    def test_parallel_four_workers(self, accept_mixed):
+        campaign = Campaign(**MIXED_GRID)
+        campaign.run(workers=4, collect_metrics=True)
+        assert_matches_reference(campaign, accept_mixed)
+
+    def test_sharded_four_shards(self, accept_mixed):
+        campaign = Campaign(**MIXED_GRID)
+        campaign.run(shards=4, collect_metrics=True)
+        assert_matches_reference(campaign, accept_mixed)
+        stats = counters(campaign)
+        assert stats["campaign.shards_planned"] == 4
+        assert stats["campaign.cells_run"] == 48
+
+    def test_crash_then_resume(self, accept_mixed, tmp_path):
+        checkpoint = tmp_path / "mixed.jsonl"
+        crashed = Campaign(**MIXED_GRID)
+        with pytest.MonkeyPatch.context() as mp:
+            crash_after(20, mp)
+            with pytest.raises(SimulatedCrash):
+                crashed.run(workers=1, checkpoint=checkpoint,
+                            collect_metrics=True)
+        resumed = Campaign(**MIXED_GRID)
+        resumed.run(workers=1, checkpoint=checkpoint, resume=True,
+                    collect_metrics=True)
+        assert_matches_reference(resumed, accept_mixed)
+        stats = counters(resumed)
+        assert stats["campaign.cells_resumed"] == 20
+        assert stats["campaign.cells_run"] == 28
+
+    def test_cache_warm_executes_zero_cells(self, accept_mixed,
+                                            tmp_path):
+        root = tmp_path / "store"
+        cold = Campaign(**MIXED_GRID)
+        cold.run(workers=1, collect_metrics=True,
+                 store=ResultStore(root))
+        assert_matches_reference(cold, accept_mixed)
+        injector = ChaosInjector(always_fail=set(accept_mixed["seeds"]))
+        with pytest.MonkeyPatch.context() as mp:
+            injector.install(mp)
+            warm = Campaign(**MIXED_GRID)
+            warm.run(workers=1, collect_metrics=True,
+                     store=ResultStore(root))
+        assert injector.calls == {}
+        assert_matches_reference(warm, accept_mixed)
+        stats = counters(warm)
+        assert stats["campaign.cache_hits"] == 48
+        assert stats.get("campaign.cells_run", 0) == 0
+
+
 class TestFabricRunnerContract:
     GRID = dict(envs=("wifi",), phones=("nexus5",), rtts=(0.02, 0.05),
                 tools=("acutemon", "ping"), count=2)

@@ -49,6 +49,7 @@ _WIRE_ROUND_TRIPS = 3_000
 _CAMPAIGN_CELLS = 2
 _SKETCH_OBSERVATIONS = 50_000
 _DECOMPOSITION_CELLS = 2
+_ANALYTIC_CALLS = 20_000
 
 # Same-shape workloads run against the growth-seed commit on the
 # reference container (1 CPU, CPython 3.11) — the denominator of the
@@ -67,6 +68,10 @@ _SEED_BASELINE = {
     # far under the measured ratio, so the gate trips on a store that
     # stopped short-circuiting execution rather than on timer noise.
     "cache_warm_speedup": 10.0,
+    # First recorded with the analytic layer, at ~1/3 of the measured
+    # rate on the reference container: closed-form predictions must
+    # stay cheap enough to sweep inside tests and notebooks.
+    "analytic_predict_calls_per_sec": 50_000.0,
 }
 
 _rates = {}
@@ -334,6 +339,29 @@ def test_smoke_decomposition_rate():
 
 
 @pytest.mark.perf_smoke
+def test_smoke_analytic_predict_rate():
+    """Closed-form prediction throughput (docs/ANALYTIC.md).
+
+    ``predict_for_profile`` is the theory half of the theory-vs-sim
+    harness and the ``repro analytic`` CLI; grid sweeps call it per
+    cell, so it must stay in the 100k+/s range.  Gated against
+    ``seed_baseline`` by ``scripts/bench_compare.py``.
+    """
+    from repro.analysis.analytic import predict_for_profile
+
+    def run():
+        for index in range(_ANALYTIC_CALLS):
+            prediction = predict_for_profile(
+                "nexus5", offered_load=(index % 7) * 0.5,
+                base_rtt=0.02, listen_interval=index % 3)
+        assert prediction["psm_mean_delay"] > 0.0
+
+    _rates["analytic_predict_calls_per_sec"] = \
+        _steady_rate(_ANALYTIC_CALLS, run)
+    assert _rates["analytic_predict_calls_per_sec"] > 50_000
+
+
+@pytest.mark.perf_smoke
 def test_smoke_checkpoint_overhead(tmp_path):
     """Journaling cells must not meaningfully slow a campaign down.
 
@@ -495,6 +523,7 @@ def test_smoke_emits_bench_json():
                            "wire_round_trips_per_sec",
                            "campaign_cells_per_sec",
                            "decomposition_cells_per_sec",
+                           "analytic_predict_calls_per_sec",
                            "scenario_build_overhead_pct",
                            "obs_disabled_overhead_pct",
                            "sketch_observe_overhead_pct",
@@ -510,6 +539,7 @@ def test_smoke_emits_bench_json():
         "wire_round_trips": _WIRE_ROUND_TRIPS,
         "campaign_cells": _CAMPAIGN_CELLS,
         "decomposition_cells": _DECOMPOSITION_CELLS,
+        "analytic_predict_calls": _ANALYTIC_CALLS,
         "sketch_observations": _SKETCH_OBSERVATIONS,
         "store_probe_specs": 200,
         "cache_warm_cells": 50,

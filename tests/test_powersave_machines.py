@@ -1,0 +1,202 @@
+"""Property suite for the TWT and predictive-sleep state machines.
+
+Three invariants, driven by hypothesis-generated traffic and clock
+parameters:
+
+* a :class:`~repro.wifi.twt.TwtStation` never lets a non-missed wake
+  drift beyond the declared bound
+  (:func:`~repro.analysis.analytic.twt_wake_error_bound`), and every
+  logged error is exactly the linear drift model's prediction;
+* a :class:`~repro.wifi.predictive.PredictiveSleepStation` never
+  sleeps past ``doze_start + fallback_timeout``
+  (:func:`~repro.analysis.analytic.predictive_wake_bound`);
+* both machines are bit-deterministic under a fixed seed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analytic import (
+    predictive_wake_bound,
+    twt_wake_error_bound,
+)
+from repro.net.addresses import MacAddress, ip
+from repro.net.packet import Packet, UdpDatagram
+from repro.sim.scheduler import Simulator
+from repro.wifi.ap import AccessPoint
+from repro.wifi.channel import WifiChannel
+from repro.wifi.predictive import PredictiveSleepConfig, PredictiveSleepStation
+from repro.wifi.sta import PowerState, PsmConfig
+from repro.wifi.twt import TwtConfig, TwtStation
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+PHONE_IP = ip("192.168.1.10")
+BI = 0.1024
+
+
+def build_cell(sta_cls, seed, **sta_kwargs):
+    """A bare channel + AP + one experimental station, associated."""
+    sim = Simulator(seed=seed)
+    channel = WifiChannel(sim, name="wlan")
+    ap = AccessPoint(sim, channel, MacAddress.from_index(0x10),
+                     ip("192.168.1.1"), "192.168.1.0/24",
+                     rng=sim.rng.stream("ap"))
+    mac = MacAddress.from_index(0x30)
+    sta = sta_cls(sim, channel, mac, psm=PsmConfig(timeout=0.05),
+                  rng=sim.rng.stream("sta"), **sta_kwargs)
+    received = []
+    sta.on_packet = received.append
+    sta.associate(ap)
+    ap.register_station_ip(PHONE_IP, mac)
+    return sim, ap, sta, received
+
+
+def schedule_downlink(sim, ap, times):
+    def send():
+        packet = Packet(ip("10.0.0.2"), PHONE_IP,
+                        UdpDatagram(1000, 2000, payload_size=120))
+        ap._wireless_transmit(packet, PHONE_IP)
+
+    for when in times:
+        sim.schedule(when, send)
+
+
+class TestTwtDriftBound:
+    @given(
+        seed=st.integers(0, 10_000),
+        drift_ppm=st.sampled_from([-5000, -200, -20, 0, 20, 200, 1000,
+                                   5000]),
+        sp_interval=st.sampled_from([0.2, 0.4, 0.8]),
+        gaps=st.lists(st.floats(0.05, 1.0), min_size=1, max_size=12),
+    )
+    @SLOW
+    def test_wake_error_never_exceeds_declared_bound(
+            self, seed, drift_ppm, sp_interval, gaps):
+        drift = drift_ppm * 1e-6
+        twt = TwtConfig(sp_interval=sp_interval, sp_duration=0.02,
+                        guard=2e-3, drift_rate=drift)
+        sim, ap, sta, received = build_cell(TwtStation, seed, twt=twt)
+        times, now = [], 0.3
+        for gap in gaps:
+            now += gap
+            times.append(now)
+        schedule_downlink(sim, ap, times)
+        sim.run(until=now + 3 * sp_interval)
+
+        bound = twt_wake_error_bound(drift, twt.guard, sp_interval, BI)
+        wakes = [w for w in sta.wake_log if not w.missed]
+        assert wakes, "the station never scheduled a wake"
+        for wake in wakes:
+            assert abs(wake.error) <= bound + 1e-12
+            # The error is exactly the linear drift model's value.
+            assert wake.error == pytest.approx(drift * wake.resync_age)
+        # Within-guard errors are also within the machine's own guard.
+        for wake in wakes:
+            assert abs(wake.error) <= twt.guard + 1e-12
+
+    @given(seed=st.integers(0, 10_000))
+    @SLOW
+    def test_traffic_always_delivered(self, seed):
+        twt = TwtConfig(sp_interval=0.4, sp_duration=0.02, guard=2e-3,
+                        drift_rate=1000e-6)
+        sim, ap, sta, received = build_cell(TwtStation, seed, twt=twt)
+        times = [0.5 + 0.37 * k for k in range(8)]
+        schedule_downlink(sim, ap, times)
+        sim.run(until=times[-1] + 2.0)
+        assert len(received) == len(times)
+
+    def test_hot_drift_recovers_via_missed_sp_path(self):
+        # Drift so hot one SP gap exceeds the guard: every schedule
+        # falls back to beacon recovery, and traffic still flows.
+        twt = TwtConfig(sp_interval=0.4, sp_duration=0.02, guard=2e-3,
+                        drift_rate=20_000e-6)
+        sim, ap, sta, received = build_cell(TwtStation, 7, twt=twt)
+        times = [0.5 + 0.37 * k for k in range(6)]
+        schedule_downlink(sim, ap, times)
+        sim.run(until=times[-1] + 2.0)
+        assert sta.missed_sp_count > 0
+        assert sta.resync_count > 0
+        assert len(received) == len(times)
+
+
+class TestPredictiveFallbackCap:
+    @given(
+        seed=st.integers(0, 10_000),
+        fallback=st.sampled_from([0.15, 0.3, 0.6]),
+        gaps=st.lists(st.floats(0.02, 1.2), min_size=1, max_size=12),
+    )
+    @SLOW
+    def test_never_wakes_later_than_fallback_timeout(
+            self, seed, fallback, gaps):
+        predictor = PredictiveSleepConfig(fallback_timeout=fallback)
+        sim, ap, sta, received = build_cell(PredictiveSleepStation, seed,
+                                            predictor=predictor)
+        times, now = [], 0.3
+        for gap in gaps:
+            now += gap
+            times.append(now)
+        schedule_downlink(sim, ap, times)
+        sim.run(until=now + 2 * fallback)
+
+        bound = predictive_wake_bound(fallback)
+        assert sta.wake_log, "the station never dozed"
+        for wake in sta.wake_log:
+            assert wake.wake_at <= wake.deadline + 1e-12
+            assert wake.wake_at - wake.doze_start <= bound + 1e-12
+        assert len(received) == len(times)
+
+    def test_actual_doze_spans_respect_the_cap(self):
+        # Beyond the log: the recorded DOZE state transitions
+        # themselves never span longer than the fallback timeout.
+        predictor = PredictiveSleepConfig(fallback_timeout=0.25)
+        sim, ap, sta, received = build_cell(PredictiveSleepStation, 11,
+                                            predictor=predictor)
+        schedule_downlink(sim, ap, [0.5, 1.4, 2.9])
+        sim.run(until=5.0)
+        doze_start = None
+        for when, _old, new, _reason in sta.state_transitions:
+            if new == PowerState.DOZE:
+                doze_start = when
+            elif doze_start is not None:
+                assert when - doze_start <= \
+                    predictor.fallback_timeout + 1e-9
+                doze_start = None
+
+    def test_mispredicts_widen_the_interval(self):
+        predictor = PredictiveSleepConfig(initial_interval=0.05,
+                                          fallback_timeout=0.5)
+        sim, ap, sta, received = build_cell(PredictiveSleepStation, 3,
+                                            predictor=predictor)
+        # No traffic at all: every predicted wake is a mispredict.
+        sim.run(until=4.0)
+        assert sta.mispredict_count > 0
+        assert sta.predicted_interval > predictor.initial_interval
+
+
+class TestDeterminism:
+    def _run_once(self, sta_cls, **sta_kwargs):
+        sim, ap, sta, received = build_cell(sta_cls, 42, **sta_kwargs)
+        times = [0.4 + 0.31 * k for k in range(6)]
+        schedule_downlink(sim, ap, times)
+        sim.run(until=4.0)
+        return sta
+
+    @pytest.mark.parametrize("sta_cls,kwargs", [
+        (TwtStation, {"twt": TwtConfig(sp_interval=0.4, sp_duration=0.02,
+                                       guard=2e-3, drift_rate=500e-6)}),
+        (PredictiveSleepStation,
+         {"predictor": PredictiveSleepConfig(fallback_timeout=0.3)}),
+    ])
+    def test_fixed_seed_reproduces_wake_log_exactly(self, sta_cls,
+                                                    kwargs):
+        first = self._run_once(sta_cls, **kwargs)
+        second = self._run_once(sta_cls, **kwargs)
+        assert first.state_transitions == second.state_transitions
+        log_a = [tuple(getattr(w, slot) for slot in type(w).__slots__)
+                 for w in first.wake_log]
+        log_b = [tuple(getattr(w, slot) for slot in type(w).__slots__)
+                 for w in second.wake_log]
+        assert log_a == log_b
